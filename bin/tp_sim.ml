@@ -1,0 +1,497 @@
+(* tp_sim — command-line driver for the termination-protocol reproduction.
+
+   Subcommands:
+     run      one scenario, full trace
+     sweep    a protocol over the default scenario grid
+     analyze  static FSA analysis (concurrency sets, lemma checks, rules)
+     cases    Section 6 case classification for a transient scenario
+     list     available protocols *)
+
+let protocols : (string * Site.packed) list =
+  [
+    ("2pc", (module Two_phase));
+    ("ext2pc", (module Ext_two_phase));
+    ("3pc", (module Three_phase));
+    ("3pc+rules", (module Three_phase_rules));
+    ("3pc+rules-strict", (module Three_phase_rules.Strict));
+    ("3pc-skeen", (module Three_phase_skeen));
+    ("quorum", (module Quorum));
+    ("termination", (module Termination.Static));
+    ("termination-transient", (module Termination.Transient));
+    ("4pc-termination", (module Theorem10.Four_phase_termination));
+  ]
+
+open Cmdliner
+
+let protocol_arg =
+  Arg.(
+    required
+    & opt (some (enum protocols)) None
+    & info [ "p"; "protocol" ] ~docv:"PROTOCOL" ~doc:"Protocol to run.")
+
+let n_arg =
+  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of sites.")
+
+let t_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "T" ] ~docv:"TICKS" ~doc:"Propagation bound T, in ticks.")
+
+let g2_arg =
+  Arg.(
+    value & opt (list int) []
+    & info [ "g2" ] ~docv:"SITES" ~doc:"Slaves forming group G2 (e.g. 3,4).")
+
+let at_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "at" ] ~docv:"TICKS" ~doc:"Partition instant.")
+
+let heal_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "heal" ] ~docv:"TICKS"
+        ~doc:"Heal the partition this many ticks after it starts.")
+
+let seed_arg =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let delay_arg =
+  let parse = function
+    | "minimal" -> Ok `Minimal
+    | "full" -> Ok `Full
+    | "uniform" -> Ok `Uniform
+    | s -> Error (`Msg (Printf.sprintf "unknown delay model %S" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with `Minimal -> "minimal" | `Full -> "full" | `Uniform -> "uniform")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Uniform
+    & info [ "delay" ] ~docv:"MODEL" ~doc:"Delay model: minimal, full, uniform.")
+
+let no_votes_arg =
+  Arg.(
+    value & opt (list int) []
+    & info [ "vote-no" ] ~docv:"SITES" ~doc:"Slaves voting no.")
+
+let pessimistic_arg =
+  Arg.(
+    value & flag
+    & info [ "pessimistic" ]
+        ~doc:"Lose undeliverable messages instead of returning them.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the trace.")
+
+let crash_arg =
+  Arg.(
+    value
+    & opt (list (pair ~sep:':' int int)) []
+    & info [ "crash" ] ~docv:"SITE:TICKS"
+        ~doc:"Crash sites at given instants (e.g. 1:2500,3:4000).")
+
+let make_config ~n ~t ~g2 ~at ~heal ~seed ~delay ~no_votes ~pessimistic =
+  let t_unit = Vtime.of_int t in
+  let base = Runner.default_config ~n ~t_unit () in
+  let partition =
+    match g2 with
+    | [] -> Partition.none
+    | sites ->
+        let starts_at = Vtime.of_int (Option.value at ~default:0) in
+        Partition.make
+          ?heals_at:(Option.map (fun h -> Vtime.add starts_at (Vtime.of_int h)) heal)
+          ~group2:(Site_id.set_of_ints sites) ~starts_at ~n ()
+  in
+  let delay =
+    match delay with
+    | `Minimal -> Delay.minimal
+    | `Full -> Delay.full ~t_max:t_unit
+    | `Uniform -> Delay.uniform ~t_max:t_unit
+  in
+  {
+    base with
+    Runner.partition;
+    delay;
+    seed;
+    mode = (if pessimistic then Network.Pessimistic else Network.Optimistic);
+    votes = List.map (fun s -> (Site_id.of_int s, false)) no_votes;
+  }
+
+let run_cmd =
+  let doc = "Run one transaction under one scenario and print the trace." in
+  let run protocol n t g2 at heal seed delay no_votes pessimistic quiet crashes =
+    let config =
+      make_config ~n ~t ~g2 ~at ~heal ~seed ~delay ~no_votes ~pessimistic
+    in
+    let config =
+      {
+        config with
+        Runner.trace_enabled = not quiet;
+        crashes =
+          List.map
+            (fun (s, at) -> (Site_id.of_int s, Vtime.of_int at))
+            crashes;
+      }
+    in
+    let result = Runner.run protocol config in
+    if not quiet then Format.printf "%a@." Trace.pp result.trace;
+    Format.printf "%a" Runner.pp_result result;
+    let verdict = Verdict.of_result result in
+    Format.printf "verdict: %a@." Verdict.pp verdict;
+    if Verdict.resilient verdict then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run $ protocol_arg $ n_arg $ t_arg $ g2_arg $ at_arg $ heal_arg
+      $ seed_arg $ delay_arg $ no_votes_arg $ pessimistic_arg $ quiet_arg
+      $ crash_arg)
+
+let sweep_cmd =
+  let doc = "Sweep a protocol over the default scenario grid." in
+  let heals_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "heals" ] ~docv:"TICKS"
+          ~doc:"Also sweep transient partitions with these heal delays.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
+  in
+  let run protocol n t heals json =
+    let t_unit = Vtime.of_int t in
+    let base = Runner.default_config ~n ~t_unit () in
+    let grid = Scenario.default_grid ~n ~t_unit in
+    let grid =
+      if heals = [] then grid
+      else
+        {
+          grid with
+          Scenario.heals_after =
+            None :: List.map (fun h -> Some (Vtime.of_int h)) heals;
+        }
+    in
+    let configs = Scenario.configs ~base grid in
+    let summary = Sweep.run protocol configs in
+    if json then Format.printf "%a@." Export.pp (Export.of_summary summary)
+    else Format.printf "%a@." Sweep.pp_summary summary;
+    if summary.violations = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(const run $ protocol_arg $ n_arg $ t_arg $ heals_arg $ json_arg)
+
+let analyze_cmd =
+  let doc = "Static FSA analysis: concurrency sets, Lemma 1/2, Rule(a)/(b)." in
+  let name_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "protocol" ] ~docv:"NAME"
+          ~doc:"FSA to analyse: 2pc, ext2pc, 3pc, 3pc-fig8, quorum3pc.")
+  in
+  let dot_arg =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:
+            "Print the protocol as a Graphviz digraph instead (the paper's \
+             figure).")
+  in
+  let run name n dot =
+    match Commit_fsa.Catalog.find name with
+    | None ->
+        Format.eprintf "unknown FSA %S@." name;
+        2
+    | Some protocol when dot ->
+        print_string (Commit_fsa.Machine.to_dot protocol);
+        0
+    | Some protocol ->
+        let analysis = Commit_fsa.Analysis.analyze protocol ~n in
+        Format.printf "%a@." Commit_fsa.Analysis.pp_report analysis;
+        Format.printf "%a@." Commit_fsa.Augment.pp
+          (Commit_fsa.Augment.apply_rules analysis);
+        0
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ name_arg $ n_arg $ dot_arg)
+
+let cases_cmd =
+  let doc = "Classify a scenario into the Section 6 case tree." in
+  let run protocol n t g2 at heal seed delay =
+    let config =
+      make_config ~n ~t ~g2 ~at ~heal ~seed ~delay ~no_votes:[]
+        ~pessimistic:false
+    in
+    let config = { config with Runner.trace_enabled = false } in
+    let observation = Cases.observe protocol config in
+    Format.printf "%a@." Cases.pp_observation observation;
+    Format.printf "%a" Runner.pp_result observation.result;
+    0
+  in
+  Cmd.v
+    (Cmd.info "cases" ~doc)
+    Term.(
+      const run $ protocol_arg $ n_arg $ t_arg $ g2_arg $ at_arg $ heal_arg
+      $ seed_arg $ delay_arg)
+
+let diagram_cmd =
+  let doc = "Render a scenario as an ASCII message-sequence diagram." in
+  let run protocol n t g2 at heal seed delay no_votes crashes =
+    let config =
+      make_config ~n ~t ~g2 ~at ~heal ~seed ~delay ~no_votes
+        ~pessimistic:false
+    in
+    let config =
+      {
+        config with
+        Runner.trace_enabled = false;
+        crashes =
+          List.map (fun (s, c) -> (Site_id.of_int s, Vtime.of_int c)) crashes;
+      }
+    in
+    print_string (Diagram.run protocol config);
+    0
+  in
+  Cmd.v
+    (Cmd.info "diagram" ~doc)
+    Term.(
+      const run $ protocol_arg $ n_arg $ t_arg $ g2_arg $ at_arg $ heal_arg
+      $ seed_arg $ delay_arg $ no_votes_arg $ crash_arg)
+
+let db_cmd =
+  let doc = "Run a database workload through a commit protocol." in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (enum [ ("bank", `Bank); ("hot-spot", `Hot); ("mix", `Mix) ]) `Bank
+      & info [ "w"; "workload" ] ~docv:"KIND"
+          ~doc:"Workload: bank, hot-spot, or mix.")
+  in
+  let txns_arg =
+    Arg.(value & opt int 8 & info [ "txns" ] ~docv:"N" ~doc:"Transactions.")
+  in
+  let run protocol n t g2 at heal seed delay workload txns =
+    let module Tm = Commit_db.Tm in
+    let module Workload = Commit_db.Workload in
+    let t_unit = Vtime.of_int t in
+    let spacing = Vtime.of_int (6 * t) in
+    let w =
+      match workload with
+      | `Bank ->
+          Workload.bank_transfers ~n ~pairs:txns ~balance:1000 ~amount:70
+            ~spacing ~seed
+      | `Hot -> Workload.hot_spot ~n ~txns ~spacing
+      | `Mix ->
+          Workload.uniform_mix ~n ~txns ~keys_per_txn:3 ~key_space:(2 * n)
+            ~spacing ~seed
+    in
+    let partition =
+      match g2 with
+      | [] -> Partition.none
+      | sites ->
+          let starts_at = Vtime.of_int (Option.value at ~default:0) in
+          Partition.make
+            ?heals_at:
+              (Option.map
+                 (fun h -> Vtime.add starts_at (Vtime.of_int h))
+                 heal)
+            ~group2:(Site_id.set_of_ints sites) ~starts_at ~n ()
+    in
+    let delay =
+      match delay with
+      | `Minimal -> Delay.minimal
+      | `Full -> Delay.full ~t_max:t_unit
+      | `Uniform -> Delay.uniform ~t_max:t_unit
+    in
+    let config =
+      {
+        (Tm.default_config ~protocol ~n ()) with
+        Tm.t_unit;
+        partition;
+        delay;
+        seed;
+        initial = w.Workload.initial;
+      }
+    in
+    let report = Tm.run config w.Workload.txns in
+    Format.printf "%a" Tm.pp_report report;
+    (match workload with
+    | `Bank ->
+        Format.printf "money: %d on disk, %d expected@."
+          (Tm.balance_total report ~prefix:"acct:")
+          (Workload.expected_total w ~prefix:"acct:")
+    | `Hot | `Mix -> ());
+    if Tm.count_status report Tm.Txn_torn = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "db" ~doc)
+    Term.(
+      const run $ protocol_arg $ n_arg $ t_arg $ g2_arg $ at_arg $ heal_arg
+      $ seed_arg $ delay_arg $ workload_arg $ txns_arg)
+
+let check_cmd =
+  let doc =
+    "Self-check: run the paper's key claims on reduced grids and report \
+     PASS/FAIL (a fast correctness gate for CI)."
+  in
+  let run () =
+    let t_unit = Vtime.of_int 1000 in
+    let failures = ref 0 in
+    let verdict label ok =
+      Format.printf "  %-58s %s@." label (if ok then "PASS" else "FAIL");
+      if not ok then incr failures
+    in
+    let grid n =
+      Scenario.configs
+        ~base:(Runner.default_config ~n ~t_unit ())
+        (Scenario.default_grid ~n ~t_unit)
+    in
+    let sweep p n = Sweep.run p (grid n) in
+    Format.printf "self-check (reduced grids):@.";
+    let s = sweep (module Termination.Static) 3 in
+    verdict "Theorem 9: termination protocol resilient (n=3)"
+      (s.violations = 0 && s.blocked_runs = 0);
+    let s = sweep (module Termination.Transient) 3 in
+    verdict "Section 6: transient variant resilient (n=3)"
+      (s.violations = 0 && s.blocked_runs = 0);
+    let s = sweep (module Theorem10.Four_phase_termination) 3 in
+    verdict "Theorem 10: 4pc-termination resilient (n=3)"
+      (s.violations = 0 && s.blocked_runs = 0);
+    let s = sweep (module Ext_two_phase) 3 in
+    verdict "Section 3 obs. 1: ext2pc violates for n=3" (s.violations > 0);
+    let s = sweep (module Three_phase_rules.Paper) 3 in
+    verdict "Section 3 obs. 2: 3pc+rules violates" (s.violations > 0);
+    let s = sweep (module Two_phase) 3 in
+    verdict "Fig. 1: 2pc blocks but stays atomic"
+      (s.violations = 0 && s.blocked_runs > 0);
+    let s = sweep (module Quorum) 3 in
+    verdict "Ref [5]: quorum atomic, blocks the minority"
+      (s.violations = 0 && s.blocked_runs > 0);
+    let facts_ok =
+      List.for_all
+        (fun cfg ->
+          Facts.audit (Runner.run (module Termination.Static) cfg) = Ok ())
+        (grid 3)
+    in
+    verdict "FACT 1/2: every decision through an admissible case" facts_ok;
+    let lemmas =
+      match Commit_fsa.Catalog.find "3pc" with
+      | Some p ->
+          Commit_fsa.Analysis.satisfies_lemmas
+            (Commit_fsa.Analysis.analyze p ~n:3)
+      | None -> false
+    in
+    verdict "Lemma 1/2: 3pc qualifies (FSA analysis)" lemmas;
+    Format.printf "%s@."
+      (if !failures = 0 then "all checks passed"
+       else Printf.sprintf "%d check(s) FAILED" !failures);
+    if !failures = 0 then 0 else 1
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ const ())
+
+let lemma3_cmd =
+  let doc =
+    "Exhaustively execute every timeout/UD augmentation of 3PC (Lemma 3)."
+  in
+  let run () =
+    let t_unit = Vtime.of_int 1000 in
+    let fsa = Commit_fsa.Catalog.three_phase in
+    let assignments = Fsa_actor.all_assignments fsa in
+    Format.printf "%d assignments to execute...@." (List.length assignments);
+    let grid =
+      Scenario.configs
+        ~base:(Runner.default_config ~n:3 ~t_unit ())
+        (Scenario.default_grid ~n:3 ~t_unit)
+    in
+    (* Stage 2 for anything that survives stage 1: correctness on the
+       failure-free and vote flows, and the n=4 ack-splitting cuts. *)
+    let base4 = Runner.default_config ~n:4 ~t_unit () in
+    let full = Delay.full ~t_max:t_unit in
+    let stage2 =
+      { (Runner.default_config ~n:3 ~t_unit ()) with Runner.delay = full }
+      :: {
+           (Runner.default_config ~n:3 ~t_unit ()) with
+           Runner.delay = full;
+           votes = [ (Site_id.of_int 2, false) ];
+         }
+      :: List.map
+           (fun at ->
+             {
+               base4 with
+               Runner.partition =
+                 Partition.make
+                   ~group2:(Site_id.set_of_ints [ 3; 4 ])
+                   ~starts_at:(Vtime.of_int at) ~n:4 ();
+               delay = full;
+             })
+           [ 3050; 4050 ]
+      @ (* a no-voter cut off from the rest: the kill shot for the
+           "commit on any trouble" assignments *)
+      List.map
+        (fun at ->
+          {
+            (Runner.default_config ~n:3 ~t_unit ()) with
+            Runner.partition =
+              Partition.make
+                ~group2:(Site_id.set_of_ints [ 3 ])
+                ~starts_at:(Vtime.of_int at) ~n:3 ();
+            delay = full;
+            votes = [ (Site_id.of_int 3, false) ];
+          })
+        [ 100; 1100; 2100 ]
+    in
+    let sound a =
+      let proto = Fsa_actor.make ~name:"candidate" fsa a in
+      List.for_all
+        (fun cfg ->
+          Verdict.resilient (Verdict.of_result (Runner.run proto cfg)))
+        grid
+      && List.for_all
+           (fun (cfg : Runner.config) ->
+             let result = Runner.run proto cfg in
+             let v = Verdict.of_result result in
+             Verdict.resilient v
+             && (Partition.group_count cfg.partition > 0
+                || Verdict.outcome v
+                   = (if cfg.votes = [] then `Committed else `Aborted)))
+           stage2
+    in
+    let survivors = List.filter sound assignments in
+    Format.printf
+      "assignments that are resilient AND correct: %d (Lemma 3 predicts 0)@."
+      (List.length survivors);
+    if survivors = [] then 0 else 1
+  in
+  Cmd.v (Cmd.info "lemma3" ~doc) Term.(const run $ const ())
+
+let list_cmd =
+  let doc = "List available protocols." in
+  let run () =
+    List.iter
+      (fun (name, (module P : Site.S)) ->
+        Format.printf "%-22s %s@." name
+          (if P.blocking_by_design then "(blocks under partition)"
+           else "(nonblocking)"))
+      protocols;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "Termination protocol for simple network partitioning (ICDE 1987)" in
+  let info = Cmd.info "tp_sim" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+       [
+         run_cmd;
+         sweep_cmd;
+         analyze_cmd;
+         cases_cmd;
+         diagram_cmd;
+         db_cmd;
+         check_cmd;
+         lemma3_cmd;
+         list_cmd;
+       ]))

@@ -1,0 +1,125 @@
+type observation = {
+  case : Timing.case option;
+  probe_waits : (Site_id.t * Vtime.t option) list;
+  result : Runner.result;
+}
+
+type fate = F_delivered | F_bounced | F_lost
+
+(* One record per message the tap saw reach a terminal fate. *)
+type seen = { env : Types.msg Network.envelope; fate : fate }
+
+let observe protocol (config : Runner.config) =
+  let events = ref [] in
+  let tap = function
+    | Network.Sent _ -> ()
+    | Network.Delivered { env; _ } ->
+        events := { env; fate = F_delivered } :: !events
+    | Network.Bounced { env; _ } -> events := { env; fate = F_bounced } :: !events
+    | Network.Lost { env; _ } -> events := { env; fate = F_lost } :: !events
+  in
+  let result = Runner.run ~tap protocol config in
+  let seen = List.rev !events in
+  let g2 = Partition.group2 config.partition in
+  let in_g2 site = Site_id.Set.mem site g2 in
+  let select predicate = List.filter predicate seen in
+  let delivered msgs = List.filter (fun s -> s.fate = F_delivered) msgs in
+  let bounced msgs = List.filter (fun s -> s.fate = F_bounced) msgs in
+  (* Message generations relevant to the case split — always relative to
+     crossing the boundary, i.e. traffic with the G2 side. *)
+  let prepares_to_g2 =
+    select (fun s -> s.env.payload = Types.Prepare && in_g2 s.env.dst)
+  in
+  let acks_from_g2 =
+    select (fun s ->
+        s.env.payload = Types.Ack
+        && in_g2 s.env.src
+        && Site_id.is_master s.env.dst)
+  in
+  let master_commits_to_g2 =
+    select (fun s ->
+        s.env.payload = Types.Commit_cmd
+        && Site_id.is_master s.env.src
+        && in_g2 s.env.dst)
+  in
+  let g2_commit_receivers =
+    delivered master_commits_to_g2
+    |> List.map (fun s -> s.env.dst)
+    |> Site_id.Set.of_list
+  in
+  let probes_from probe_senders =
+    select (fun s ->
+        match s.env.payload with
+        | Types.Probe { slave; _ } ->
+            in_g2 s.env.src && probe_senders slave
+        | Types.Xact | Types.Yes | Types.No | Types.Pre_prepare
+        | Types.Pre_ack | Types.Prepare | Types.Ack | Types.Commit_cmd
+        | Types.Abort_cmd | Types.State_inquiry _ | Types.State_answer _ ->
+            false)
+  in
+  let case =
+    if Site_id.Set.is_empty g2 then None
+    else if prepares_to_g2 = [] then None
+    else if delivered prepares_to_g2 = [] then Some Timing.Case_1
+    else begin
+      let all_prepares_passed = bounced prepares_to_g2 = [] in
+      let some_acks_bounced = bounced acks_from_g2 <> [] in
+      if not all_prepares_passed then begin
+        (* case 2: some prepares pass, some do not *)
+        if some_acks_bounced then Some Timing.Case_2_1
+        else
+          let probes = probes_from (fun _ -> true) in
+          if bounced probes <> [] then Some Timing.Case_2_2_1
+          else Some Timing.Case_2_2_2
+      end
+      else if some_acks_bounced then Some Timing.Case_3_1
+      else if
+        master_commits_to_g2 <> [] && bounced master_commits_to_g2 = []
+      then Some Timing.Case_3_2_1
+      else begin
+        (* case 3.2.2: some master commits did not pass; split on the
+           probes of the G2 sites that missed the commit *)
+        let missed slave = not (Site_id.Set.mem slave g2_commit_receivers) in
+        let probes = probes_from missed in
+        if bounced probes <> [] then Some Timing.Case_3_2_2_1
+        else Some Timing.Case_3_2_2_2
+      end
+    end
+  in
+  let probe_sends =
+    List.filter_map
+      (fun s ->
+        match s.env.payload with
+        | Types.Probe { slave; _ } when in_g2 s.env.src ->
+            Some (slave, s.env.sent_at)
+        | Types.Probe _ | Types.Xact | Types.Yes | Types.No
+        | Types.Pre_prepare | Types.Pre_ack | Types.Prepare | Types.Ack
+        | Types.Commit_cmd | Types.Abort_cmd | Types.State_inquiry _
+        | Types.State_answer _ ->
+            None)
+      seen
+  in
+  let probe_waits =
+    probe_sends
+    |> List.sort_uniq (fun (a, _) (b, _) -> Site_id.compare a b)
+    |> List.map (fun (slave, sent_at) ->
+           let site = Runner.site_result result slave in
+           let wait =
+             Option.map (fun at -> Vtime.sub at sent_at) site.decided_at
+           in
+           (slave, wait))
+  in
+  { case; probe_waits; result }
+
+let pp_observation fmt o =
+  Format.fprintf fmt "%s"
+    (match o.case with
+    | None -> "no case (partition outside the prepare exchange)"
+    | Some c -> Format.asprintf "%a" Timing.pp_case c);
+  List.iter
+    (fun (slave, wait) ->
+      Format.fprintf fmt ", %a wait=%s" Site_id.pp slave
+        (match wait with
+        | Some w -> Format.asprintf "%a" Vtime.pp w
+        | None -> "unbounded"))
+    o.probe_waits

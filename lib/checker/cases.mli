@@ -1,0 +1,26 @@
+(** The Section 6 case classifier.
+
+    Section 6 enumerates every way a (possibly transient) partition can
+    interleave with the protocol by which message generations pass
+    boundary B: prepares, acks, master commits, probes.  This module
+    replays a scenario with a network tap, classifies the run into the
+    paper's case tree, and measures the quantity the paper bounds — the
+    time from a slave's p-state timeout (= its probe send) to its
+    decision.  The sec6 bench prints the resulting measured-vs-analytic
+    table; the tests assert the bounds. *)
+
+type observation = {
+  case : Timing.case option;
+      (** [None]: the partition never intersected the prepare/ack/commit
+          exchange (e.g. it started before any prepare was sent, or
+          there was no partition). *)
+  probe_waits : (Site_id.t * Vtime.t option) list;
+      (** for every G2 slave that probed: time from probe send to its
+          decision; [None] = still undecided at the horizon *)
+  result : Runner.result;
+}
+
+val observe : Site.packed -> Runner.config -> observation
+(** Runs the scenario once with a tap and classifies it. *)
+
+val pp_observation : Format.formatter -> observation -> unit

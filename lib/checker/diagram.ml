@@ -1,0 +1,180 @@
+type event =
+  | Message of {
+      at : Vtime.t;
+      src : Site_id.t;
+      dst : Site_id.t;
+      label : string;
+      kind : [ `Delivered | `Bounced | `Lost ];
+    }
+  | Decision of { at : Vtime.t; site : Site_id.t; label : string }
+  | Boundary of { at : Vtime.t; label : string }
+
+let event_time = function
+  | Message { at; _ } | Decision { at; _ } | Boundary { at; _ } -> at
+
+let collect protocol (config : Runner.config) =
+  let events = ref [] in
+  let note e = events := e :: !events in
+  let tap = function
+    | Network.Sent _ -> ()
+    | Network.Delivered { env; at } ->
+        note
+          (Message
+             {
+               at;
+               src = env.Network.src;
+               dst = env.dst;
+               label = Format.asprintf "%a" Types.pp_msg env.payload;
+               kind = `Delivered;
+             })
+    | Network.Bounced { env; at } ->
+        (* drawn back towards the sender *)
+        note
+          (Message
+             {
+               at;
+               src = env.Network.dst;
+               dst = env.src;
+               label = Format.asprintf "UD(%a)" Types.pp_msg env.payload;
+               kind = `Bounced;
+             })
+    | Network.Lost { env; at } ->
+        note
+          (Message
+             {
+               at;
+               src = env.Network.src;
+               dst = env.dst;
+               label = Format.asprintf "%a lost" Types.pp_msg env.payload;
+               kind = `Lost;
+             })
+  in
+  let result = Runner.run ~tap protocol config in
+  Array.iter
+    (fun (s : Runner.site_result) ->
+      (match (s.decision, s.decided_at) with
+      | Some d, Some at ->
+          note
+            (Decision
+               {
+                 at;
+                 site = s.site;
+                 label =
+                   Format.asprintf "%s%s"
+                     (match d with
+                     | Types.Commit -> "COMMIT"
+                     | Types.Abort -> "ABORT")
+                     (match s.reasons with
+                     | r :: _ -> Printf.sprintf " (%s)" r
+                     | [] -> "");
+               })
+      | _, _ -> ());
+      if s.crashed then
+        note (Decision { at = Vtime.infinity; site = s.site; label = "CRASHED" }))
+    result.sites;
+  let p = config.partition in
+  if Partition.group_count p > 0 then begin
+    note
+      (Boundary
+         {
+           at = Partition.starts_at p;
+           label = Format.asprintf "== %a ==" Partition.pp p;
+         });
+    match Partition.heals_at p with
+    | Some h -> note (Boundary { at = h; label = "== partition heals ==" })
+    | None -> ()
+  end;
+  let sorted =
+    List.stable_sort
+      (fun a b -> Vtime.compare (event_time a) (event_time b))
+      (List.rev !events)
+  in
+  (* drop events past the horizon sentinel except crashes *)
+  let sorted =
+    List.filter
+      (fun e ->
+        match e with
+        | Decision { at; _ } | Message { at; _ } | Boundary { at; _ } ->
+            Vtime.( < ) at Vtime.infinity)
+      sorted
+  in
+  (sorted, result)
+
+let lane_centre ~width i = (i * width) - (width / 2)
+
+let render_events ?(width = 22) ~n events =
+  let width = Stdlib.max 12 width in
+  (* room after the last lane for decision labels *)
+  let line_len = (n * width) + 32 in
+  let buffer = Buffer.create 4096 in
+  let gutter at = Printf.sprintf "t=%-8d" (Vtime.to_int at) in
+  let blank_row () =
+    let row = Bytes.make line_len ' ' in
+    for i = 1 to n do
+      Bytes.set row (lane_centre ~width i) '|'
+    done;
+    row
+  in
+  let put_string row pos s =
+    String.iteri
+      (fun i c ->
+        let p = pos + i in
+        if p >= 0 && p < Bytes.length row then Bytes.set row p c)
+      s
+  in
+  (* header *)
+  let header = Bytes.make line_len ' ' in
+  for i = 1 to n do
+    let name =
+      Format.asprintf "%a" Site_id.pp (Site_id.of_int i)
+    in
+    put_string header (lane_centre ~width i - (String.length name / 2)) name
+  done;
+  Buffer.add_string buffer (String.make 10 ' ');
+  Buffer.add_string buffer (Bytes.to_string header);
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun event ->
+      let row = blank_row () in
+      (match event with
+      | Boundary { label; _ } ->
+          let pos = Stdlib.max 0 ((line_len - String.length label) / 2) in
+          put_string row pos label
+      | Decision { site; label; _ } ->
+          let c = lane_centre ~width (Site_id.to_int site) in
+          put_string row c "*";
+          put_string row (c + 2) label
+      | Message { src; dst; label; kind; _ } ->
+          let cs = lane_centre ~width (Site_id.to_int src) in
+          let cd = lane_centre ~width (Site_id.to_int dst) in
+          let lo = Stdlib.min cs cd and hi = Stdlib.max cs cd in
+          let dash =
+            match kind with `Delivered -> '-' | `Bounced -> '~' | `Lost -> '.'
+          in
+          for p = lo + 1 to hi - 1 do
+            Bytes.set row p dash
+          done;
+          if cd > cs then Bytes.set row (cd - 1) '>'
+          else Bytes.set row (cd + 1) '<';
+          let label =
+            match kind with `Lost -> label ^ " x" | `Delivered | `Bounced -> label
+          in
+          let mid = ((lo + hi) / 2) - (String.length label / 2) in
+          put_string row mid label);
+      let line =
+        let s = Bytes.to_string row in
+        let len = ref (String.length s) in
+        while !len > 0 && s.[!len - 1] = ' ' do
+          decr len
+        done;
+        String.sub s 0 !len
+      in
+      Buffer.add_string buffer (gutter (event_time event));
+      Buffer.add_string buffer line;
+      Buffer.add_char buffer '\n')
+    events;
+  Buffer.contents buffer
+
+let run ?width protocol config =
+  let events, result = collect protocol config in
+  render_events ?width ~n:result.Runner.config.Runner.n events

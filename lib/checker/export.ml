@@ -1,0 +1,143 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let rec write buffer = function
+  | Null -> Buffer.add_string buffer "null"
+  | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+  | Int i -> Buffer.add_string buffer (string_of_int i)
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buffer (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buffer (Printf.sprintf "%.6g" f)
+  | String s ->
+      Buffer.add_char buffer '"';
+      Buffer.add_string buffer (escape s);
+      Buffer.add_char buffer '"'
+  | List items ->
+      Buffer.add_char buffer '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buffer ',';
+          write buffer item)
+        items;
+      Buffer.add_char buffer ']'
+  | Obj fields ->
+      Buffer.add_char buffer '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buffer ',';
+          write buffer (String key);
+          Buffer.add_char buffer ':';
+          write buffer value)
+        fields;
+      Buffer.add_char buffer '}'
+
+let to_string json =
+  let buffer = Buffer.create 256 in
+  write buffer json;
+  Buffer.contents buffer
+
+let pp fmt json = Format.pp_print_string fmt (to_string json)
+
+let sites_json sites = List (List.map (fun s -> Int (Site_id.to_int s)) sites)
+
+let of_verdict (v : Verdict.t) =
+  Obj
+    [
+      ( "outcome",
+        String
+          (match Verdict.outcome v with
+          | `Committed -> "committed"
+          | `Aborted -> "aborted"
+          | `Mixed -> "mixed"
+          | `Undecided -> "undecided") );
+      ("atomic", Bool v.atomic);
+      ("resilient", Bool (Verdict.resilient v));
+      ("committed", sites_json v.committed);
+      ("aborted", sites_json v.aborted);
+      ("blocked", sites_json v.blocked);
+      ("vacuous", sites_json v.vacuous);
+      ("crashed", sites_json v.crashed);
+      ( "max_decision_time",
+        match v.max_decision_time with Some t -> Int t | None -> Null );
+    ]
+
+let of_summary (s : Sweep.summary) =
+  let examples pairs =
+    List
+      (List.map
+         (fun (config, v) ->
+           Obj
+             [
+               ("scenario", String (Scenario.config_id config));
+               ("verdict", of_verdict v);
+             ])
+         pairs)
+  in
+  Obj
+    [
+      ("protocol", String s.protocol);
+      ("runs", Int s.runs);
+      ("violations", Int s.violations);
+      ("blocked_runs", Int s.blocked_runs);
+      ("committed", Int s.committed);
+      ("aborted", Int s.aborted);
+      ("undecided", Int s.undecided);
+      ( "max_decision_time",
+        match s.max_decision_time with Some t -> Int t | None -> Null );
+      ("violation_examples", examples s.violation_examples);
+      ("blocked_examples", examples s.blocked_examples);
+    ]
+
+let of_stats (s : Stats.t) =
+  Obj
+    [
+      ("count", Int s.count);
+      ("min", Int s.min);
+      ("p50", Int s.p50);
+      ("p90", Int s.p90);
+      ("p99", Int s.p99);
+      ("max", Int s.max);
+      ("mean", Float s.mean);
+    ]
+
+let of_observation (o : Cases.observation) =
+  Obj
+    [
+      ( "case",
+        match o.case with
+        | Some c -> String (Timing.case_name c)
+        | None -> Null );
+      ( "probe_waits",
+        List
+          (List.map
+             (fun (slave, wait) ->
+               Obj
+                 [
+                   ("slave", Int (Site_id.to_int slave));
+                   ("wait", match wait with Some w -> Int w | None -> Null);
+                 ])
+             o.probe_waits) );
+    ]

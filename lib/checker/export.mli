@@ -1,0 +1,33 @@
+(** JSON export of checker results, for CI pipelines and notebooks.
+
+    A tiny self-contained encoder (no external JSON dependency — the
+    container is sealed) plus encoders for the checker's result types.
+    Output is deterministic: object fields appear in the order listed
+    here, so exported files diff cleanly across runs. *)
+
+(** A minimal JSON document. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+(** Compact, valid JSON (strings escaped per RFC 8259). *)
+
+val pp : Format.formatter -> json -> unit
+
+val of_verdict : Verdict.t -> json
+
+val of_summary : Sweep.summary -> json
+(** Includes the failure-example grid points as {!Scenario.config_id}
+    strings. *)
+
+val of_stats : Stats.t -> json
+
+val of_observation : Cases.observation -> json
+(** The Section 6 classification and per-slave probe waits (without the
+    embedded run result). *)

@@ -1,0 +1,55 @@
+(** Scenario grids: the adversary's move space.
+
+    A simple-partition scenario is a cut (which slaves form G2), a
+    partition instant, optionally a heal instant (Section 6), a delay
+    model and a seed.  The checker enumerates grids of these and runs a
+    protocol over every point; because the simulator is deterministic,
+    a grid point is a reproducible counterexample when it fails. *)
+
+val all_cuts : n:int -> Site_id.Set.t list
+(** Every nonempty proper subset of the slaves, as G2 (the master stays
+    in G1 by the paper's convention).  [2^(n-1) - 1] cuts; with the
+    all-slaves cut excluded when [n = 2] would make G2 everything —
+    i.e. for n sites there are [2^(n-1) - 1] cuts, all valid because G1
+    always retains the master. *)
+
+val instants :
+  t_unit:Vtime.t -> until_mult:int -> per_t:int -> Vtime.t list
+(** Partition instants: [per_t] evenly spaced points per T over
+    [(0, until_mult * T\]].  The protocol's whole life fits in a few T,
+    so small grids already cover every interleaving class. *)
+
+type grid = {
+  cuts : Site_id.Set.t list;
+  starts : Vtime.t list;
+  heals_after : Vtime.t option list;
+      (** [None] = static partition; [Some d] heals [d] ticks after it
+          starts *)
+  delays : Delay.t list;
+  seeds : int64 list;
+  votes : (Site_id.t * bool) list list;
+}
+
+val default_grid : n:int -> t_unit:Vtime.t -> grid
+(** All cuts; instants at 4/T over 8T; static; minimal+full+uniform
+    delays; 3 seeds; all-yes votes. *)
+
+val configs : base:Runner.config -> grid -> Runner.config list
+(** The cartesian product, each as a runnable config. *)
+
+val all_multi_cuts : n:int -> Site_id.Set.t list list
+(** Every way to split the [n] sites into {e three or more} groups —
+    the multiple partitionings of the paper's second impossibility
+    theorem.  Empty for [n < 3]. *)
+
+val multi_configs :
+  base:Runner.config ->
+  starts:Vtime.t list ->
+  delays:Delay.t list ->
+  seeds:int64 list ->
+  Runner.config list
+(** A grid over every multiple partitioning of [base.n] sites — used to
+    demonstrate that no protocol survives them. *)
+
+val config_id : Runner.config -> string
+(** Compact, stable description of a grid point, for reports. *)

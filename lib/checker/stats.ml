@@ -1,0 +1,43 @@
+type t = {
+  count : int;
+  min : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+  mean : float;
+}
+
+let of_list = function
+  | [] -> None
+  | samples ->
+      let sorted = List.sort Int.compare samples in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      (* nearest-rank: the smallest value with at least p% of the mass
+         at or below it *)
+      let percentile p =
+        let rank = int_of_float (ceil (p *. float_of_int n /. 100.)) in
+        arr.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+      in
+      let total = List.fold_left ( + ) 0 samples in
+      Some
+        {
+          count = n;
+          min = arr.(0);
+          p50 = percentile 50.;
+          p90 = percentile 90.;
+          p99 = percentile 99.;
+          max = arr.(n - 1);
+          mean = float_of_int total /. float_of_int n;
+        }
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d min=%d p50=%d p90=%d p99=%d max=%d mean=%.1f"
+    t.count t.min t.p50 t.p90 t.p99 t.max t.mean
+
+let pp_in_t ~unit_t fmt t =
+  let in_t v = float_of_int v /. float_of_int (Vtime.to_int unit_t) in
+  Format.fprintf fmt
+    "n=%-5d min=%.2fT p50=%.2fT p90=%.2fT p99=%.2fT max=%.2fT" t.count
+    (in_t t.min) (in_t t.p50) (in_t t.p90) (in_t t.p99) (in_t t.max)

@@ -1,0 +1,22 @@
+(** Small descriptive statistics over integer samples (virtual times),
+    for the latency-distribution benches. *)
+
+type t = {
+  count : int;
+  min : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+  mean : float;
+}
+
+val of_list : int list -> t option
+(** [None] on the empty list.  Percentiles use the nearest-rank method
+    (deterministic, no interpolation). *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_in_t : unit_t:Vtime.t -> Format.formatter -> t -> unit
+(** Renders every quantile as a multiple of T, e.g.
+    ["n=42 min=1.00T p50=3.00T p90=5.00T p99=9.00T max=10.00T"]. *)

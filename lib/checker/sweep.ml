@@ -1,0 +1,83 @@
+type summary = {
+  protocol : string;
+  runs : int;
+  violations : int;
+  blocked_runs : int;
+  committed : int;
+  aborted : int;
+  undecided : int;
+  max_decision_time : Vtime.t option;
+  violation_examples : (Runner.config * Verdict.t) list;
+  blocked_examples : (Runner.config * Verdict.t) list;
+}
+
+let run_verdicts ?(trace = false) protocol configs =
+  List.map
+    (fun config ->
+      let config = { config with Runner.trace_enabled = trace } in
+      let result = Runner.run protocol config in
+      (config, Verdict.of_result result))
+    configs
+
+let run ?(keep = 3) ?trace protocol configs =
+  let verdicts = run_verdicts ?trace protocol configs in
+  let violations = ref 0 and blocked = ref 0 in
+  let committed = ref 0 and aborted = ref 0 and undecided = ref 0 in
+  let max_time = ref None in
+  let violation_examples = ref [] and blocked_examples = ref [] in
+  List.iter
+    (fun (config, (v : Verdict.t)) ->
+      (match Verdict.outcome v with
+      | `Mixed ->
+          incr violations;
+          if List.length !violation_examples < keep then
+            violation_examples := (config, v) :: !violation_examples
+      | `Committed -> incr committed
+      | `Aborted -> incr aborted
+      | `Undecided -> incr undecided);
+      if v.blocked <> [] then begin
+        incr blocked;
+        if List.length !blocked_examples < keep then
+          blocked_examples := (config, v) :: !blocked_examples
+      end;
+      match v.max_decision_time with
+      | Some at ->
+          max_time :=
+            Some
+              (match !max_time with
+              | None -> at
+              | Some prior -> Vtime.max prior at)
+      | None -> ())
+    verdicts;
+  {
+    protocol = Site.name protocol;
+    runs = List.length verdicts;
+    violations = !violations;
+    blocked_runs = !blocked;
+    committed = !committed;
+    aborted = !aborted;
+    undecided = !undecided;
+    max_decision_time = !max_time;
+    violation_examples = List.rev !violation_examples;
+    blocked_examples = List.rev !blocked_examples;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "%-22s runs=%-5d violations=%-4d blocked=%-4d commit=%-4d abort=%-4d \
+     undecided=%-3d%s"
+    s.protocol s.runs s.violations s.blocked_runs s.committed s.aborted
+    s.undecided
+    (match s.max_decision_time with
+    | Some t -> Format.asprintf " max-decide=%a" Vtime.pp t
+    | None -> "");
+  List.iter
+    (fun (config, v) ->
+      Format.fprintf fmt "@.    violation at %s: %a" (Scenario.config_id config)
+        Verdict.pp v)
+    s.violation_examples;
+  List.iter
+    (fun (config, v) ->
+      Format.fprintf fmt "@.    blocked at %s: %a" (Scenario.config_id config)
+        Verdict.pp v)
+    s.blocked_examples

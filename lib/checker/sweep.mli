@@ -1,0 +1,34 @@
+(** Running a protocol over a scenario grid and aggregating verdicts.
+
+    This is how the repository phrases the paper's theorems as
+    experiments: Theorem 9 becomes "the termination protocol's sweep has
+    zero violations and zero blocked runs"; Section 3's observations
+    become "the extended-2PC and 3PC+rules sweeps have nonzero
+    violations, and here are the first counterexamples". *)
+
+type summary = {
+  protocol : string;
+  runs : int;
+  violations : int;  (** runs that broke atomicity *)
+  blocked_runs : int;  (** runs with at least one blocked site *)
+  committed : int;
+  aborted : int;
+  undecided : int;  (** runs where no site decided *)
+  max_decision_time : Vtime.t option;
+      (** worst decision latency across all runs *)
+  violation_examples : (Runner.config * Verdict.t) list;
+  blocked_examples : (Runner.config * Verdict.t) list;
+}
+
+val run :
+  ?keep:int -> ?trace:bool -> Site.packed -> Runner.config list -> summary
+(** Runs every config (with tracing off by default — grids are large)
+    and keeps up to [keep] (default 3) example configs per failure
+    class. *)
+
+val run_verdicts :
+  ?trace:bool -> Site.packed -> Runner.config list ->
+  (Runner.config * Verdict.t) list
+(** The raw per-run verdicts, for custom aggregation. *)
+
+val pp_summary : Format.formatter -> summary -> unit

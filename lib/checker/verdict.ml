@@ -1,0 +1,78 @@
+type t = {
+  committed : Site_id.t list;
+  aborted : Site_id.t list;
+  blocked : Site_id.t list;
+  vacuous : Site_id.t list;
+  crashed : Site_id.t list;
+  atomic : bool;
+  max_decision_time : Vtime.t option;
+}
+
+let is_initial_state = function "q" | "q1" -> true | _ -> false
+
+let of_result (result : Runner.result) =
+  let committed = ref [] and aborted = ref [] in
+  let blocked = ref [] and vacuous = ref [] and crashed = ref [] in
+  let max_decision_time = ref None in
+  Array.iter
+    (fun (s : Runner.site_result) ->
+      if s.crashed then crashed := s.site :: !crashed
+      else
+        match s.decision with
+        | Some Types.Commit -> committed := s.site :: !committed
+        | Some Types.Abort -> aborted := s.site :: !aborted
+        | None ->
+            if is_initial_state s.final_state then vacuous := s.site :: !vacuous
+            else blocked := s.site :: !blocked)
+    result.sites;
+  Array.iter
+    (fun (s : Runner.site_result) ->
+      match s.decided_at with
+      | Some at ->
+          max_decision_time :=
+            Some
+              (match !max_decision_time with
+              | None -> at
+              | Some prior -> Vtime.max prior at)
+      | None -> ())
+    result.sites;
+  {
+    committed = List.rev !committed;
+    aborted = List.rev !aborted;
+    blocked = List.rev !blocked;
+    vacuous = List.rev !vacuous;
+    crashed = List.rev !crashed;
+    atomic = !committed = [] || !aborted = [];
+    max_decision_time = !max_decision_time;
+  }
+
+let resilient t = t.atomic && t.blocked = []
+
+let outcome t =
+  match (t.committed, t.aborted) with
+  | [], [] -> `Undecided
+  | _ :: _, [] -> `Committed
+  | [], _ :: _ -> `Aborted
+  | _ :: _, _ :: _ -> `Mixed
+
+let pp fmt t =
+  let pp_sites = Site_id.pp_set in
+  Format.fprintf fmt "%s%s"
+    (match outcome t with
+    | `Committed -> "committed"
+    | `Aborted -> "aborted"
+    | `Mixed ->
+        Format.asprintf "ATOMICITY VIOLATION (commit %a / abort %a)" pp_sites
+          (Site_id.Set.of_list t.committed)
+          pp_sites
+          (Site_id.Set.of_list t.aborted)
+    | `Undecided -> "undecided")
+    ((if t.blocked = [] then ""
+      else
+        Format.asprintf ", blocked %a" pp_sites (Site_id.Set.of_list t.blocked))
+    ^ (if t.vacuous = [] then ""
+       else
+         Format.asprintf ", vacuous %a" pp_sites (Site_id.Set.of_list t.vacuous))
+    ^
+    if t.crashed = [] then ""
+    else Format.asprintf ", crashed %a" pp_sites (Site_id.Set.of_list t.crashed))

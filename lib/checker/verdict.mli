@@ -1,0 +1,35 @@
+(** Correctness verdicts over a finished run.
+
+    The paper's resilience demands two properties of every failure in
+    the class: {e atomicity} (no site commits while another aborts) and
+    {e nonblocking} (every operational site eventually decides).
+
+    A site still in its {e initial} state at the end of a run never
+    learned of the transaction (its xact bounced and, under a static
+    partition, nothing else can reach it).  Such a site holds no locks
+    and has trivially "performed none of the updates", so it is counted
+    as {e vacuous}, not blocked; the paper's FSAs give q a timeout to
+    abort, which is the same thing operationally.  Crashed sites
+    (Section 7 experiments only) are excluded from both properties. *)
+
+type t = {
+  committed : Site_id.t list;
+  aborted : Site_id.t list;
+  blocked : Site_id.t list;
+      (** operational, past the initial state, undecided at the horizon *)
+  vacuous : Site_id.t list;  (** never left the initial state *)
+  crashed : Site_id.t list;
+  atomic : bool;  (** [committed = \[\]] or [aborted = \[\]] *)
+  max_decision_time : Vtime.t option;
+      (** latest decision instant among deciding sites *)
+}
+
+val of_result : Runner.result -> t
+
+val resilient : t -> bool
+(** [atomic] and nothing blocked. *)
+
+val outcome : t -> [ `Committed | `Aborted | `Mixed | `Undecided ]
+(** The collective outcome ([`Mixed] is an atomicity violation). *)
+
+val pp : Format.formatter -> t -> unit

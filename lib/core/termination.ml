@@ -1,0 +1,392 @@
+type variant = Static | Transient
+
+let pp_variant fmt = function
+  | Static -> Format.pp_print_string fmt "static"
+  | Transient -> Format.pp_print_string fmt "transient"
+
+let fact1_reasons =
+  [
+    "fact1-case1";
+    "fact1-case2";
+    "fact1-case3";
+    "fact1-case4";
+    "fact1-case5";
+    "fact1-case6";
+  ]
+
+let fact2_reasons = [ "fact2-case1"; "fact2-case2"; "fact2-case3" ]
+
+module type CONFIG = sig
+  val variant : variant
+
+  val fig8_w_commit : bool
+
+  val collect_window_mult : int
+
+  val wait_window_mult : int
+end
+
+module Make_full (V : CONFIG) = struct
+  let name =
+    (match V.variant with
+    | Static -> "termination"
+    | Transient -> "termination-transient")
+    ^ (if V.fig8_w_commit then "" else "-nofig8")
+    ^
+    if
+      V.collect_window_mult = Timing.collect_window_mult
+      && V.wait_window_mult = Timing.wait_window_mult
+    then ""
+    else Printf.sprintf "-w%d-%d" V.collect_window_mult V.wait_window_mult
+
+  let blocking_by_design = false
+
+  type master_state =
+    | M_initial  (** q1 *)
+    | M_wait of { yes : Site_id.Set.t }  (** w1, timer 2T *)
+    | M_prepared of { acks : Site_id.Set.t }  (** p1, timer 2T *)
+    | M_collect of { ud : Site_id.Set.t; pb : Site_id.Set.t }
+        (** p1 after the first UD(prepare); 5T collection window *)
+    | M_committed
+    | M_aborted
+
+  type slave_state =
+    | S_initial  (** q *)
+    | S_wait  (** w, timer 3T *)
+    | S_wait2  (** w after timeout; 6T window for a command (Fig. 7) *)
+    | S_prepared  (** p, timer 3T *)
+    | S_probing  (** p after timeout; probe sent (5T window if transient) *)
+    | S_committed
+    | S_aborted
+
+  type machine =
+    | Master of master_state
+    | Slave of { vote_yes : bool; state : slave_state }
+
+  type t = { ctx : Ctx.t; timer : Ctx.Timer_slot.slot; mutable machine : machine }
+
+  let create ctx role =
+    let timer = Ctx.Timer_slot.create () in
+    match role with
+    | Site.Master_role -> { ctx; timer; machine = Master M_initial }
+    | Site.Slave_role { vote_yes } ->
+        { ctx; timer; machine = Slave { vote_yes; state = S_initial } }
+
+  let state_name t =
+    match t.machine with
+    | Master M_initial -> "q1"
+    | Master (M_wait _) -> "w1"
+    | Master (M_prepared _) -> "p1"
+    | Master (M_collect _) -> "p1/collect"
+    | Master M_committed -> "c1"
+    | Master M_aborted -> "a1"
+    | Slave { state = S_initial; _ } -> "q"
+    | Slave { state = S_wait; _ } -> "w"
+    | Slave { state = S_wait2; _ } -> "w/waiting"
+    | Slave { state = S_prepared; _ } -> "p"
+    | Slave { state = S_probing; _ } -> "p/probing"
+    | Slave { state = S_committed; _ } -> "c"
+    | Slave { state = S_aborted; _ } -> "a"
+
+  (* ---- master ---------------------------------------------------------- *)
+
+  let master_decide t decision ~reason ~tell =
+    Ctx.Timer_slot.cancel t.timer;
+    t.machine <-
+      Master
+        (match decision with Types.Commit -> M_committed | Types.Abort -> M_aborted);
+    if tell then
+      Ctx.broadcast_slaves t.ctx
+        (match decision with
+        | Types.Commit -> Types.Commit_cmd
+        | Types.Abort -> Types.Abort_cmd);
+    Ctx.decide t.ctx decision ~reason
+
+  let begin_transaction t =
+    match t.machine with
+    | Master M_initial ->
+        Ctx.broadcast_slaves t.ctx Types.Xact;
+        t.machine <- Master (M_wait { yes = Site_id.Set.empty });
+        Ctx.Timer_slot.set t.ctx t.timer ~mult_t:Timing.master_timeout_mult
+          ~label:"w1-timeout" (fun () ->
+            match t.machine with
+            | Master (M_wait _) ->
+                (* Idea 2: no prepare was ever generated, so no slave in
+                   G2 can commit; aborting G1 is safe. *)
+                master_decide t Types.Abort ~reason:"w1-timeout" ~tell:true
+            | Master
+                (M_initial | M_prepared _ | M_collect _ | M_committed
+                | M_aborted)
+            | Slave _ ->
+                ())
+    | Master (M_wait _ | M_prepared _ | M_collect _ | M_committed | M_aborted)
+    | Slave _ ->
+        ()
+
+  let close_collect_window t ~ud ~pb =
+    (* The paper's test N - UD = PB, with N read as the slave set (see
+       DESIGN.md): the probes received came exactly from the slaves
+       whose prepare was delivered iff no prepare crossed boundary B. *)
+    let slaves = Site_id.Set.of_list (Ctx.slaves t.ctx) in
+    let reached = Site_id.Set.diff slaves ud in
+    if Site_id.Set.equal reached pb then begin
+      Ctx.log t.ctx "collect window: N-UD = PB = %a -> no prepare crossed B"
+        Site_id.pp_set pb;
+      master_decide t Types.Abort ~reason:"collect-abort" ~tell:true
+    end
+    else begin
+      Ctx.log t.ctx
+        "collect window: N-UD = %a but PB = %a -> a prepare crossed B"
+        Site_id.pp_set reached Site_id.pp_set pb;
+      master_decide t Types.Commit ~reason:"fact2-case3" ~tell:true
+    end
+
+  let enter_collect t ~ud ~pb =
+    t.machine <- Master (M_collect { ud; pb });
+    Ctx.Timer_slot.set t.ctx t.timer ~mult_t:V.collect_window_mult
+      ~label:"collect-window" (fun () ->
+        match t.machine with
+        | Master (M_collect { ud; pb }) -> close_collect_window t ~ud ~pb
+        | Master (M_initial | M_wait _ | M_prepared _ | M_committed | M_aborted)
+        | Slave _ ->
+            ())
+
+  let on_master_msg t state (envelope : Types.msg Network.envelope) =
+    match (state, envelope.payload) with
+    | M_wait { yes }, Types.Yes ->
+        let yes = Site_id.Set.add envelope.src yes in
+        if Site_id.Set.cardinal yes = Ctx.n t.ctx - 1 then begin
+          Ctx.broadcast_slaves t.ctx Types.Prepare;
+          t.machine <- Master (M_prepared { acks = Site_id.Set.empty });
+          Ctx.Timer_slot.set t.ctx t.timer ~mult_t:Timing.master_timeout_mult
+            ~label:"p1-timeout" (fun () ->
+              match t.machine with
+              | Master (M_prepared _) ->
+                  (* Idea 3: the timer outlived every possible
+                     UD(prepare) return, so every prepare was delivered
+                     and every slave will commit. *)
+                  master_decide t Types.Commit ~reason:"fact2-case2"
+                    ~tell:true
+              | Master
+                  (M_initial | M_wait _ | M_collect _ | M_committed
+                  | M_aborted)
+              | Slave _ ->
+                  ())
+        end
+        else t.machine <- Master (M_wait { yes })
+    | M_wait _, Types.No ->
+        master_decide t Types.Abort ~reason:"no-vote" ~tell:true
+    | M_prepared { acks }, Types.Ack ->
+        let acks = Site_id.Set.add envelope.src acks in
+        if Site_id.Set.cardinal acks = Ctx.n t.ctx - 1 then
+          master_decide t Types.Commit ~reason:"fact2-case1" ~tell:true
+        else t.machine <- Master (M_prepared { acks })
+    | M_collect { ud; pb }, Types.Probe { slave; _ } ->
+        t.machine <- Master (M_collect { ud; pb = Site_id.Set.add slave pb })
+    | M_prepared _, Types.Probe _ ->
+        (* A slave's p-timer fired early on a fast path with no
+           partition; it will receive the commit command in due course. *)
+        Ctx.log t.ctx "probe from %a in p1 ignored (no partition detected)"
+          Site_id.pp envelope.src
+    | (M_initial | M_committed | M_aborted), _
+    | M_wait _, _
+    | M_prepared _, _
+    | M_collect _, _ ->
+        Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
+          (state_name t)
+
+  let on_master_ud t state (envelope : Types.msg Network.envelope) =
+    match (state, envelope.payload) with
+    | M_wait _, Types.Xact ->
+        (* The transaction never reached some slave: that slave never
+           voted, so nobody can commit. *)
+        master_decide t Types.Abort ~reason:"ud-xact" ~tell:true
+    | M_prepared _, Types.Prepare ->
+        enter_collect t ~ud:(Site_id.Set.singleton envelope.dst) ~pb:Site_id.Set.empty
+    | M_collect { ud; pb }, Types.Prepare ->
+        t.machine <- Master (M_collect { ud = Site_id.Set.add envelope.dst ud; pb })
+    | ( ( M_initial | M_wait _ | M_prepared _ | M_collect _ | M_committed
+        | M_aborted ),
+        _ ) ->
+        Ctx.log t.ctx "UD(%a) ignored in %s" Types.pp_msg envelope.payload
+          (state_name t)
+
+  (* ---- slaves ----------------------------------------------------------- *)
+
+  let slave_decide t ~vote_yes decision ~reason ~tell =
+    Ctx.Timer_slot.cancel t.timer;
+    t.machine <-
+      Slave
+        {
+          vote_yes;
+          state =
+            (match decision with
+            | Types.Commit -> S_committed
+            | Types.Abort -> S_aborted);
+        };
+    if tell then
+      (* "It will send to all the slaves in G2": the slave does not know
+         the boundary, so it sends to everyone; copies addressed across
+         B bounce and are ignored. *)
+      Ctx.broadcast_all t.ctx
+        (match decision with
+        | Types.Commit -> Types.Commit_cmd
+        | Types.Abort -> Types.Abort_cmd);
+    Ctx.decide t.ctx decision ~reason
+
+  let set_slave t ~vote_yes state = t.machine <- Slave { vote_yes; state }
+
+  let arm_slave_timer t ~mult_t ~label ~expected f =
+    Ctx.Timer_slot.set t.ctx t.timer ~mult_t ~label (fun () ->
+        match t.machine with
+        | Slave { state; vote_yes } when state = expected -> f ~vote_yes
+        | Slave _ | Master _ -> ())
+
+  let enter_wait2 t ~vote_yes =
+    set_slave t ~vote_yes S_wait2;
+    arm_slave_timer t ~mult_t:V.wait_window_mult ~label:"w2-window"
+      ~expected:S_wait2 (fun ~vote_yes ->
+        (* 6T passed with no command: no commit exists anywhere
+           reachable; abort (Fig. 7's bound makes this safe). *)
+        slave_decide t ~vote_yes Types.Abort ~reason:"w2-expired" ~tell:false)
+
+  let enter_probing t ~vote_yes =
+    Ctx.send_master t.ctx
+      (Types.Probe { trans_id = Ctx.trans_id t.ctx; slave = Ctx.self t.ctx });
+    set_slave t ~vote_yes S_probing;
+    match V.variant with
+    | Static -> Ctx.Timer_slot.cancel t.timer
+    | Transient ->
+        arm_slave_timer t ~mult_t:Timing.probe_window_mult ~label:"probe-window"
+          ~expected:S_probing (fun ~vote_yes ->
+            (* Section 6: only case 3.2.2.2 keeps a probing slave waiting
+               beyond 5T, and in that case the master has committed. *)
+            slave_decide t ~vote_yes Types.Commit ~reason:"transient-5t-commit"
+              ~tell:false)
+
+  let commit_reason t ~state (envelope : Types.msg Network.envelope) =
+    ignore t;
+    match state with
+    | S_wait2 -> "fact1-case2"
+    | S_probing -> "fact1-case4"
+    | S_wait | S_prepared ->
+        if Site_id.is_master envelope.src then "fact1-case1" else "fact1-case6"
+    | S_initial | S_committed | S_aborted -> "fact1-unexpected"
+
+  let on_slave_msg t ~vote_yes state (envelope : Types.msg Network.envelope) =
+    match (state, envelope.payload) with
+    | S_initial, Types.Xact ->
+        if vote_yes then begin
+          Ctx.send_master t.ctx Types.Yes;
+          set_slave t ~vote_yes S_wait;
+          arm_slave_timer t ~mult_t:Timing.slave_timeout_mult ~label:"w-timeout"
+            ~expected:S_wait (fun ~vote_yes -> enter_wait2 t ~vote_yes)
+        end
+        else begin
+          Ctx.send_master t.ctx Types.No;
+          slave_decide t ~vote_yes Types.Abort ~reason:"voted-no" ~tell:false
+        end
+    | S_wait, Types.Prepare ->
+        Ctx.send_master t.ctx Types.Ack;
+        set_slave t ~vote_yes S_prepared;
+        arm_slave_timer t ~mult_t:Timing.slave_timeout_mult ~label:"p-timeout"
+          ~expected:S_prepared (fun ~vote_yes -> enter_probing t ~vote_yes)
+    | S_wait, Types.Commit_cmd when not V.fig8_w_commit ->
+        (* Ablation: the unmodified 3PC slave of Fig. 3 has no w -> c
+           transition; it drops the relayed commit — which may be the
+           only commit it will ever receive ("a fly in the ointment"). *)
+        Ctx.log t.ctx "commit in w dropped (Fig. 8 modification disabled)"
+    | S_wait2, Types.Prepare ->
+        (* Cannot happen within the model's timing envelope: a prepare
+           arrives at most 3T after the slave entered w.  Logged for the
+           failure-injection tests. *)
+        Ctx.log t.ctx "late prepare ignored in w/waiting"
+    | (S_wait | S_wait2 | S_prepared | S_probing | S_initial), Types.Commit_cmd
+      ->
+        slave_decide t ~vote_yes Types.Commit
+          ~reason:(commit_reason t ~state envelope)
+          ~tell:false
+    | (S_wait | S_wait2 | S_prepared | S_probing | S_initial), Types.Abort_cmd
+      ->
+        slave_decide t ~vote_yes Types.Abort ~reason:"abort-cmd" ~tell:false
+    | ( ( S_initial | S_wait | S_wait2 | S_prepared | S_probing | S_committed
+        | S_aborted ),
+        _ ) ->
+        Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
+          (state_name t)
+
+  let on_slave_ud t ~vote_yes state (envelope : Types.msg Network.envelope) =
+    match (state, envelope.payload) with
+    | S_wait, Types.Yes ->
+        (* My vote never reached the master, so the master cannot have
+           collected all votes and no prepare exists: abort my side. *)
+        slave_decide t ~vote_yes Types.Abort ~reason:"ud-yes" ~tell:true
+    | (S_prepared | S_probing), Types.Ack ->
+        (* Idea 6(1): I hold a prepare and my ack bounced — I am in G2
+           and responsible for committing it. *)
+        slave_decide t ~vote_yes Types.Commit ~reason:"fact1-case5" ~tell:true
+    | S_probing, Types.Probe _ ->
+        (* Idea 6(2): my probe bounced — same conclusion. *)
+        slave_decide t ~vote_yes Types.Commit ~reason:"fact1-case3" ~tell:true
+    | ( ( S_initial | S_wait | S_wait2 | S_prepared | S_probing | S_committed
+        | S_aborted ),
+        _ ) ->
+        Ctx.log t.ctx "UD(%a) ignored in %s" Types.pp_msg envelope.payload
+          (state_name t)
+
+  let on_delivery t delivery =
+    match (t.machine, delivery) with
+    | Master state, Network.Msg envelope -> on_master_msg t state envelope
+    | Master state, Network.Undeliverable envelope ->
+        on_master_ud t state envelope
+    | Slave { vote_yes; state }, Network.Msg envelope ->
+        on_slave_msg t ~vote_yes state envelope
+    | Slave { vote_yes; state }, Network.Undeliverable envelope ->
+        on_slave_ud t ~vote_yes state envelope
+end
+
+module Make (V : sig
+  val variant : variant
+end) =
+  Make_full (struct
+    let variant = V.variant
+
+    let fig8_w_commit = true
+
+    let collect_window_mult = Timing.collect_window_mult
+
+    let wait_window_mult = Timing.wait_window_mult
+  end)
+
+module With_windows (V : sig
+  val collect_window_mult : int
+
+  val wait_window_mult : int
+end) =
+  Make_full (struct
+    let variant = Static
+
+    let fig8_w_commit = true
+
+    let collect_window_mult = V.collect_window_mult
+
+    let wait_window_mult = V.wait_window_mult
+  end)
+
+module Static = Make (struct
+  let variant = Static
+end)
+
+module Transient = Make (struct
+  let variant = Transient
+end)
+
+module Static_without_fig8 = Make_full (struct
+  let variant = Static
+
+  let fig8_w_commit = false
+
+  let collect_window_mult = Timing.collect_window_mult
+
+  let wait_window_mult = Timing.wait_window_mult
+end)

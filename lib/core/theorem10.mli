@@ -1,0 +1,32 @@
+(** Theorem 10, constructively.
+
+    The paper's last theorem: {e any} master/slave commit protocol
+    satisfying Lemma 1 and Lemma 2 can be made resilient to optimistic
+    multisite simple partitioning by rebuilding the Section 5.2 ideas
+    around the message [m] that moves slaves from their last
+    noncommittable state to a committable one.
+
+    This module carries the construction out for a protocol the paper
+    never spells out: {b four-phase commit}
+    ([Commit_fsa.Catalog.four_phase] — vote, pre-prepare, prepare,
+    commit), whose [m] is still the prepare.  The termination protocol
+    is the Section 5.3 machinery with the substitution applied:
+
+    - the master aborts everyone on a timeout or returned message in
+      either pre-[m] wait (w1 or x1) — no prepare exists, so no slave
+      anywhere can commit;
+    - after sending [m], the master's p1 behaves exactly as in the
+      paper: silent timeout commits, a returned UD(prepare) opens the
+      5T collection window and the [slaves − UD = PB] test decides;
+    - slaves in the noncommittable states w and x ride the 6T
+      post-timeout window (accepting an early commit — the Fig. 8
+      acceptance generalised to both states) and abort on a bounced
+      yes/pre-ack;
+    - slaves in p (committable) probe, and commit their side on
+      UD(ack) or UD(probe).
+
+    The thm10 bench and tests sweep it exactly like the 3PC version:
+    zero violations, zero blocked sites on the full grids. *)
+
+module Four_phase_termination : Site.S
+(** Protocol name ["4pc-termination"]. *)

@@ -1,0 +1,41 @@
+(** A strict two-phase-locking lock manager for one site.
+
+    Exclusive and shared locks with FIFO queueing; locks are held until
+    the owning transaction's commit protocol decides (strictness), which
+    is exactly why a {e blocked} commit protocol is expensive: the
+    blocked transaction's locks pin its data until the partition heals.
+    The transaction manager uses {!waits_for_edges}/{!find_cycle} for
+    deadlock detection. *)
+
+type mode = Shared | Exclusive
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type grant = { tid : int; key : string; mode : mode }
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> tid:int -> key:string -> mode:mode -> [ `Granted | `Waiting ]
+(** Re-acquiring a lock already held is granted immediately; a sole
+    shared holder requesting exclusive is upgraded. *)
+
+val holds : t -> tid:int -> key:string -> mode option
+
+val release_all : t -> tid:int -> grant list
+(** Frees every lock and queue entry of [tid]; returns the requests
+    granted as a consequence, in grant order. *)
+
+val holders : t -> key:string -> (int * mode) list
+
+val queued : t -> key:string -> (int * mode) list
+
+val waits_for_edges : t -> (int * int) list
+(** [(waiter, holder)] pairs. *)
+
+val find_cycle : t -> int list option
+(** Some deadlocked cycle of tids (each waits for the next, the last for
+    the first), if any. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type outcome = Resolved_commit | Resolved_abort | Still_in_doubt of string
+
+let pp_outcome fmt = function
+  | Resolved_commit -> Format.pp_print_string fmt "commit"
+  | Resolved_abort -> Format.pp_print_string fmt "abort"
+  | Still_in_doubt why -> Format.fprintf fmt "in-doubt (%s)" why
+
+let resolve ~stores ~self ~reachable ~tid =
+  let n = Array.length stores in
+  let peers =
+    List.filter
+      (fun site -> not (Site_id.equal site self))
+      (Site_id.all ~n)
+  in
+  let status_of site =
+    Durable_site.status stores.(Site_id.to_int site - 1) ~tid
+  in
+  let reachable_peers = List.filter reachable peers in
+  let unreachable = List.filter (fun s -> not (reachable s)) peers in
+  let statuses = List.map status_of reachable_peers in
+  if List.exists (fun s -> s = `Committed || s = `Ended) statuses then
+    Resolved_commit
+  else if List.exists (( = ) `Aborted) statuses then Resolved_abort
+  else if unreachable <> [] then
+    Still_in_doubt
+      (Format.asprintf "%d site(s) unreachable and no decision found"
+         (List.length unreachable))
+  else if List.exists (fun s -> s = `Active || s = `Unknown) statuses then
+    (* Someone never prepared, so no site can have committed. *)
+    Resolved_abort
+  else
+    Still_in_doubt "every reachable site is prepared but undecided"
+
+let resolve_all ~stores ~self ~reachable =
+  let own = stores.(Site_id.to_int self - 1) in
+  let report = Durable_site.recover own in
+  List.map
+    (fun tid -> (tid, resolve ~stores ~self ~reachable ~tid))
+    report.Durable_site.in_doubt
+
+let apply store ~tid ~updates = function
+  | Resolved_commit ->
+      Durable_site.stage store ~tid updates;
+      Durable_site.commit store ~tid ()
+  | Resolved_abort -> Durable_site.abort store ~tid
+  | Still_in_doubt _ -> ()

@@ -1,0 +1,51 @@
+(** Resolving in-doubt transactions after a site restart.
+
+    A recovering site may hold transactions that were [Prepared] but
+    carry no local decision ({!Commit_storage.Durable_site.recover}
+    reports them in doubt).  A prepared 3PC participant must not decide
+    unilaterally; the classic recovery procedure consults the stable
+    state of the other participants:
+
+    - any reachable site with a commit log for the tid: {e commit};
+    - any reachable site with an abort record: {e abort};
+    - every other site reachable and at least one of them never
+      prepared: {e abort} — the master cannot have committed, because
+      commitment requires every site to acknowledge a prepare;
+    - otherwise (everyone reachable is also merely prepared, or some
+      site is unreachable): {e still in doubt} — the decision belongs
+      to a termination protocol, not to recovery.
+
+    The resolver reads other sites' stable stores directly; in a real
+    deployment this is a message exchange, but its information content
+    is exactly the WAL status consulted here. *)
+
+type outcome =
+  | Resolved_commit
+  | Resolved_abort
+  | Still_in_doubt of string  (** why resolution must wait *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val resolve :
+  stores:Durable_site.t array ->
+  self:Site_id.t ->
+  reachable:(Site_id.t -> bool) ->
+  tid:int ->
+  outcome
+(** [stores] is indexed by site (position i = site i+1), [self]'s own
+    store included but never consulted as a peer. *)
+
+val resolve_all :
+  stores:Durable_site.t array ->
+  self:Site_id.t ->
+  reachable:(Site_id.t -> bool) ->
+  (int * outcome) list
+(** One {!resolve} per in-doubt transaction of [self]'s store (as
+    reported by a fresh {!Commit_storage.Durable_site.recover}). *)
+
+val apply :
+  Durable_site.t -> tid:int -> updates:Wal.update list -> outcome -> unit
+(** Applies a resolution to the local store: a commit re-stages
+    [updates] (the staged originals were volatile and died with the
+    crash — a real system re-fetches them with the decision) and
+    commits; an abort aborts; in-doubt is a no-op. *)

@@ -1,0 +1,96 @@
+(** The distributed transaction manager: locks, storage and a pluggable
+    commit protocol, multiplexed over one simulated network.
+
+    Every transaction spans all [n] sites (sites it does not write
+    still vote — the paper's protocols assume a fixed participant set;
+    narrowing participation is orthogonal to termination).  The flow per
+    transaction: acquire strict-2PL locks at every touched site; stage
+    the updates; run the commit protocol (site 1 mastering); on each
+    site's decision, commit/abort the site's durable store and release
+    its locks.  Cross-site deadlocks are detected on a global waits-for
+    graph and resolved by aborting the youngest transaction.
+
+    This layer is what turns the paper's abstract cost of blocking into
+    a measurable one: a blocked commit protocol keeps its locks, and
+    every later transaction touching those keys waits with it (the
+    fig1/thm9 lock-availability benches). *)
+
+type txn_spec = {
+  tid : int;  (** unique, >= 1 *)
+  start_at : Vtime.t;
+  writes : (Site_id.t * Wal.update list) list;
+  reads : (Site_id.t * string list) list;
+  vote_no : Site_id.t list;  (** slaves that will vote no *)
+}
+
+val txn :
+  ?reads:(Site_id.t * string list) list ->
+  ?vote_no:Site_id.t list ->
+  tid:int ->
+  start_at:Vtime.t ->
+  (Site_id.t * Wal.update list) list ->
+  txn_spec
+
+type txn_status =
+  | Txn_committed  (** every site committed *)
+  | Txn_aborted  (** every site aborted *)
+  | Txn_blocked  (** some site undecided at the horizon *)
+  | Txn_torn
+      (** sites decided differently — an atomicity violation, visible
+          as money lost/created by the bank workload *)
+  | Txn_waiting_locks  (** never acquired its lock set *)
+  | Txn_deadlock_victim
+
+val pp_status : Format.formatter -> txn_status -> unit
+
+type txn_report = {
+  spec : txn_spec;
+  status : txn_status;
+  locks_granted_at : Vtime.t option;
+  all_decided_at : Vtime.t option;
+  lock_wait : Vtime.t option;  (** start -> locks granted *)
+  latency : Vtime.t option;  (** start -> all sites decided *)
+}
+
+type config = {
+  protocol : Site.packed;
+  n : int;
+  t_unit : Vtime.t;
+  mode : Network.mode;
+  partition : Partition.t;
+  delay : Delay.t;
+  seed : int64;
+  horizon : Vtime.t;
+  trace_enabled : bool;
+  initial : (Site_id.t * (string * string) list) list;
+      (** pre-loaded per-site database contents (a restored snapshot,
+          not WAL-logged) *)
+  crashes : (Site_id.t * Vtime.t) list;
+      (** site failures; a dead site neither sends nor receives.  Its
+          durable store survives and can be taken through
+          {!Commit_storage.Durable_site.recover} and {!Resolver} after
+          the run — the end-to-end recovery tests do exactly that. *)
+}
+
+val default_config : protocol:Site.packed -> ?n:int -> unit -> config
+
+type report = {
+  txns : txn_report list;
+  stores : Durable_site.t array;  (** index i = site i+1; inspectable *)
+  trace : Trace.t;
+  net_stats : Network.stats;
+  deadlocks_resolved : int;
+  crashed : Site_id.t list;
+      (** sites dead at the horizon; transaction statuses are computed
+          over the surviving sites *)
+}
+
+val run : config -> txn_spec list -> report
+
+val balance_total : report -> prefix:string -> int
+(** Sum of the integer values of all keys starting with [prefix] across
+    all stores — the conservation invariant of the bank workload. *)
+
+val count_status : report -> txn_status -> int
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,89 @@
+open Machine
+
+type outcome = To_commit | To_abort
+
+let pp_outcome fmt = function
+  | To_commit -> Format.pp_print_string fmt "commit"
+  | To_abort -> Format.pp_print_string fmt "abort"
+
+type assignment = {
+  state : Analysis.site_state;
+  timeout : outcome;
+  on_undeliverable : outcome option;
+  sender_outcomes : (Analysis.site_state * outcome option) list;
+}
+
+type t = { analysis : Analysis.t; assignments : assignment list }
+
+let is_waiting machine id =
+  (not (is_final machine id)) && receivable_tags machine id <> []
+
+let waiting_states analysis =
+  let protocol = Analysis.protocol analysis in
+  let of_machine machine =
+    List.filter_map
+      (fun s ->
+        if is_waiting machine s.id then Some (machine.role, s.id) else None)
+      machine.states
+  in
+  of_machine protocol.master @ of_machine protocol.slave
+
+let rule_a analysis state =
+  if List.mem Commit (Analysis.concurrent_kinds analysis state) then To_commit
+  else To_abort
+
+let apply_rules analysis =
+  let waiting = waiting_states analysis in
+  let timeout_of state =
+    if List.exists (fun s -> Analysis.compare_site_state s state = 0) waiting
+    then Some (rule_a analysis state)
+    else None
+  in
+  let assignments =
+    List.map
+      (fun state ->
+        let senders = Analysis.sender_set analysis state in
+        let sender_outcomes =
+          List.map (fun sender -> (sender, timeout_of sender)) senders
+        in
+        let decided =
+          List.filter_map (fun (_, o) -> o) sender_outcomes
+          |> List.sort_uniq Stdlib.compare
+        in
+        let on_undeliverable =
+          match decided with [ o ] -> Some o | [] | _ :: _ :: _ -> None
+        in
+        { state; timeout = rule_a analysis state; on_undeliverable; sender_outcomes })
+      waiting
+  in
+  { analysis; assignments }
+
+let assignment_for t state =
+  List.find_opt
+    (fun a -> Analysis.compare_site_state a.state state = 0)
+    t.assignments
+
+let ambiguous t =
+  List.filter (fun a -> a.on_undeliverable = None) t.assignments
+
+let pp fmt t =
+  let protocol = Analysis.protocol t.analysis in
+  Format.fprintf fmt "Rule(a)/Rule(b) augmentation of %s (n=%d):@." protocol.name
+    (Analysis.n_sites t.analysis);
+  List.iter
+    (fun a ->
+      Format.fprintf fmt "  %a: timeout -> %a; UD -> %s@." Analysis.pp_site_state
+        a.state pp_outcome a.timeout
+        (match a.on_undeliverable with
+        | Some o -> Format.asprintf "%a" pp_outcome o
+        | None ->
+            Format.asprintf "AMBIGUOUS (senders: %a)"
+              (Format.pp_print_list
+                 ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+                 (fun fmt (s, o) ->
+                   Format.fprintf fmt "%a->%s" Analysis.pp_site_state s
+                     (match o with
+                     | Some o -> Format.asprintf "%a" pp_outcome o
+                     | None -> "final")))
+              a.sender_outcomes))
+    t.assignments

@@ -1,0 +1,201 @@
+type role = Master | Slave
+
+let pp_role fmt = function
+  | Master -> Format.pp_print_string fmt "master"
+  | Slave -> Format.pp_print_string fmt "slave"
+
+type state_kind = Initial | Intermediate | Commit | Abort
+
+type state = { id : string; kind : state_kind }
+
+type guard = Start | Recv of string | Recv_all_votes of string
+
+type action = Send_slaves of string | Send_master of string
+
+type transition = {
+  source : string;
+  guard : guard;
+  target : string;
+  actions : action list;
+  votes_yes : bool;
+}
+
+type machine = {
+  role : role;
+  initial : string;
+  states : state list;
+  transitions : transition list;
+}
+
+type t = { name : string; master : machine; slave : machine }
+
+let state_of machine id = List.find (fun s -> String.equal s.id id) machine.states
+
+let kind_of machine id = (state_of machine id).kind
+
+let is_final machine id =
+  match kind_of machine id with
+  | Commit | Abort -> true
+  | Initial | Intermediate -> false
+
+let machine_of_role t = function Master -> t.master | Slave -> t.slave
+
+let receivable_tags machine source =
+  List.filter_map
+    (fun tr ->
+      if not (String.equal tr.source source) then None
+      else
+        match tr.guard with
+        | Recv tag | Recv_all_votes tag -> Some tag
+        | Start -> None)
+    machine.transitions
+
+let validate_machine m =
+  let ids = List.map (fun s -> s.id) m.states in
+  let dup =
+    List.find_opt (fun id -> List.length (List.filter (String.equal id) ids) > 1) ids
+  in
+  match dup with
+  | Some id -> Error (Printf.sprintf "duplicate state id %S" id)
+  | None ->
+      if not (List.mem m.initial ids) then
+        Error (Printf.sprintf "initial state %S not declared" m.initial)
+      else
+        let check_transition tr =
+          if not (List.mem tr.source ids) then
+            Some (Printf.sprintf "transition from unknown state %S" tr.source)
+          else if not (List.mem tr.target ids) then
+            Some (Printf.sprintf "transition to unknown state %S" tr.target)
+          else
+            match (tr.guard, m.role) with
+            | Start, Slave -> Some "Start guard on a slave transition"
+            | Start, Master when not (String.equal tr.source m.initial) ->
+                Some "Start guard outside the master's initial state"
+            | Recv_all_votes _, Slave ->
+                Some "Recv_all_votes guard on a slave transition"
+            | (Start | Recv _ | Recv_all_votes _), _ -> (
+                let bad_action =
+                  List.find_opt
+                    (fun a ->
+                      match (a, m.role) with
+                      | Send_slaves _, Slave -> true
+                      | Send_master _, Master -> true
+                      | (Send_slaves _ | Send_master _), _ -> false)
+                    tr.actions
+                in
+                match bad_action with
+                | Some _ -> Some "action direction does not match the role"
+                | None -> None)
+        in
+        let rec first_error = function
+          | [] -> Ok ()
+          | tr :: rest -> (
+              match check_transition tr with
+              | Some e -> Error e
+              | None -> first_error rest)
+        in
+        first_error m.transitions
+
+let validate t =
+  match validate_machine t.master with
+  | Error e -> Error (Printf.sprintf "%s: master machine: %s" t.name e)
+  | Ok () -> (
+      match t.master.role with
+      | Slave -> Error (Printf.sprintf "%s: master machine has role Slave" t.name)
+      | Master -> (
+          match validate_machine t.slave with
+          | Error e -> Error (Printf.sprintf "%s: slave machine: %s" t.name e)
+          | Ok () -> (
+              match t.slave.role with
+              | Master ->
+                  Error (Printf.sprintf "%s: slave machine has role Master" t.name)
+              | Slave -> Ok ())))
+
+let validate_exn t =
+  match validate t with Ok () -> t | Error e -> invalid_arg e
+
+let pp_kind fmt = function
+  | Initial -> Format.pp_print_string fmt "initial"
+  | Intermediate -> Format.pp_print_string fmt "intermediate"
+  | Commit -> Format.pp_print_string fmt "commit"
+  | Abort -> Format.pp_print_string fmt "abort"
+
+let pp_guard fmt = function
+  | Start -> Format.pp_print_string fmt "on request"
+  | Recv tag -> Format.fprintf fmt "recv %s" tag
+  | Recv_all_votes tag -> Format.fprintf fmt "recv %s from every slave" tag
+
+let pp_action fmt = function
+  | Send_slaves tag -> Format.fprintf fmt "send %s to slaves" tag
+  | Send_master tag -> Format.fprintf fmt "send %s to master" tag
+
+let pp_machine fmt m =
+  Format.fprintf fmt "  %a machine (initial %s):@." pp_role m.role m.initial;
+  List.iter
+    (fun s -> Format.fprintf fmt "    state %-6s [%a]@." s.id pp_kind s.kind)
+    m.states;
+  List.iter
+    (fun tr ->
+      Format.fprintf fmt "    %-6s --%a--> %-6s%s%a@." tr.source pp_guard
+        tr.guard tr.target
+        (if tr.votes_yes then " (votes yes)" else "")
+        (fun fmt actions ->
+          List.iter (fun a -> Format.fprintf fmt " ; %a" pp_action a) actions)
+        tr.actions)
+    m.transitions
+
+let pp fmt t =
+  Format.fprintf fmt "protocol %s:@.%a%a" t.name pp_machine t.master pp_machine
+    t.slave
+
+let dot_escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let dot_machine buffer prefix m =
+  let node id = Printf.sprintf "%s_%s" prefix id in
+  Buffer.add_string buffer
+    (Printf.sprintf "  subgraph cluster_%s {\n    label=\"%s\";\n" prefix prefix);
+  List.iter
+    (fun s ->
+      let shape =
+        match s.kind with
+        | Commit -> "doublecircle"
+        | Abort -> "doubleoctagon"
+        | Initial -> "circle"
+        | Intermediate -> "ellipse"
+      in
+      Buffer.add_string buffer
+        (Printf.sprintf "    %s [label=\"%s\", shape=%s];\n" (node s.id)
+           (dot_escape s.id) shape))
+    m.states;
+  List.iter
+    (fun tr ->
+      let guard =
+        match tr.guard with
+        | Start -> "request"
+        | Recv tag -> tag
+        | Recv_all_votes tag -> "all " ^ tag
+      in
+      let actions =
+        String.concat ", "
+          (List.map
+             (function
+               | Send_slaves tag -> "!" ^ tag
+               | Send_master tag -> "!" ^ tag ^ "->m")
+             tr.actions)
+      in
+      let label = if actions = "" then guard else guard ^ " / " ^ actions in
+      Buffer.add_string buffer
+        (Printf.sprintf "    %s -> %s [label=\"%s\"];\n" (node tr.source)
+           (node tr.target) (dot_escape label)))
+    m.transitions;
+  Buffer.add_string buffer "  }\n"
+
+let to_dot t =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer (Printf.sprintf "digraph \"%s\" {\n" (dot_escape t.name));
+  Buffer.add_string buffer "  rankdir=TB;\n";
+  dot_machine buffer "master" t.master;
+  dot_machine buffer "slave" t.slave;
+  Buffer.add_string buffer "}\n";
+  Buffer.contents buffer

@@ -1,0 +1,28 @@
+type t =
+  | Fixed of Vtime.t
+  | Uniform of { lo : Vtime.t; hi : Vtime.t }
+  | Per_link of (Site_id.t -> Site_id.t -> Vtime.t)
+
+let full ~t_max = Fixed t_max
+
+let minimal = Fixed (Vtime.of_int 1)
+
+let uniform ~t_max = Uniform { lo = Vtime.of_int 1; hi = t_max }
+
+let clamp ~t_max d = Vtime.max 1 (Vtime.min d t_max)
+
+let sample t ~rng ~t_max ~src ~dst =
+  let raw =
+    match t with
+    | Fixed d -> d
+    | Uniform { lo; hi } ->
+        if Vtime.( < ) hi lo then lo
+        else Vtime.of_int (Rng.int_in rng ~lo:(Vtime.to_int lo) ~hi:(Vtime.to_int hi))
+    | Per_link f -> f src dst
+  in
+  clamp ~t_max raw
+
+let pp fmt = function
+  | Fixed d -> Format.fprintf fmt "fixed(%a)" Vtime.pp d
+  | Uniform { lo; hi } -> Format.fprintf fmt "uniform[%a,%a]" Vtime.pp lo Vtime.pp hi
+  | Per_link _ -> Format.pp_print_string fmt "per-link"

@@ -1,0 +1,32 @@
+(** Link-delay models.
+
+    The paper's sole timing parameter is [T], the longest end-to-end
+    propagation delay; every message takes some positive time <= T per
+    hop.  Deterministic models let the checker construct adversarial
+    timings (e.g. "prepare3 is slow, prepare2 is instant"); the uniform
+    model exercises the bounds statistically. *)
+
+type t =
+  | Fixed of Vtime.t
+      (** Every hop takes exactly this long (must be in [\[1, T\]]). *)
+  | Uniform of { lo : Vtime.t; hi : Vtime.t }
+      (** Per-message uniform sample from [\[lo, hi\]]. *)
+  | Per_link of (Site_id.t -> Site_id.t -> Vtime.t)
+      (** Deterministic function of (src, dst); used for adversarial
+          constructions.  Must return values in [\[1, T\]]. *)
+
+val full : t_max:Vtime.t -> t
+(** The adversary's favourite: every hop takes exactly [T]. *)
+
+val minimal : t
+(** Every hop takes one tick. *)
+
+val uniform : t_max:Vtime.t -> t
+(** Uniform over [\[1, T\]]. *)
+
+val sample :
+  t -> rng:Rng.t -> t_max:Vtime.t -> src:Site_id.t -> dst:Site_id.t -> Vtime.t
+(** Draws one hop delay and clamps it into [\[1, t_max\]] so that no
+    model can violate the paper's T bound. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,182 @@
+type 'a envelope = {
+  src : Site_id.t;
+  dst : Site_id.t;
+  payload : 'a;
+  sent_at : Vtime.t;
+}
+
+type 'a delivery = Msg of 'a envelope | Undeliverable of 'a envelope
+
+type mode = Optimistic | Pessimistic
+
+type 'a event =
+  | Sent of { env : 'a envelope; at : Vtime.t }
+  | Delivered of { env : 'a envelope; at : Vtime.t }
+  | Bounced of { env : 'a envelope; at : Vtime.t }
+  | Lost of { env : 'a envelope; at : Vtime.t }
+
+type stats = { sent : int; delivered : int; bounced : int; lost : int }
+
+type 'a t = {
+  engine : Engine.t;
+  n : int;
+  t_max : Vtime.t;
+  mode : mode;
+  partition : Partition.t;
+  delay : Delay.t;
+  rng : Rng.t;
+  pp_payload : Format.formatter -> 'a -> unit;
+  dead : bool array;  (* indexed by site id - 1 *)
+  mutable handler : (Site_id.t -> 'a delivery -> unit) option;
+  mutable tap : ('a event -> unit) option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable bounced : int;
+  mutable lost : int;
+}
+
+let create ~engine ~n ~t_max ?(mode = Optimistic) ?(partition = Partition.none)
+    ?delay ?(seed = 1L) ?pp_payload () =
+  if n < 2 then invalid_arg "Network.create: need at least two sites";
+  if Vtime.( < ) t_max (Vtime.of_int 1) then
+    invalid_arg "Network.create: t_max must be at least one tick";
+  let delay = match delay with Some d -> d | None -> Delay.uniform ~t_max in
+  let pp_payload =
+    match pp_payload with
+    | Some pp -> pp
+    | None -> fun fmt _ -> Format.pp_print_string fmt "<msg>"
+  in
+  {
+    engine;
+    n;
+    t_max;
+    mode;
+    partition;
+    delay;
+    rng = Rng.create seed;
+    pp_payload;
+    dead = Array.make n false;
+    handler = None;
+    tap = None;
+    sent = 0;
+    delivered = 0;
+    bounced = 0;
+    lost = 0;
+  }
+
+let set_handler t handler = t.handler <- Some handler
+
+let set_tap t tap = t.tap <- Some tap
+
+let tap_emit t make_event =
+  match t.tap with
+  | None -> ()
+  | Some tap -> tap (make_event (Engine.now t.engine))
+
+let n t = t.n
+
+let t_max t = t.t_max
+
+let partition t = t.partition
+
+let engine t = t.engine
+
+let stats t =
+  { sent = t.sent; delivered = t.delivered; bounced = t.bounced; lost = t.lost }
+
+let is_dead t site = t.dead.(Site_id.to_int site - 1)
+
+let crash t site =
+  t.dead.(Site_id.to_int site - 1) <- true;
+  Trace.addf (Engine.trace t.engine) ~at:(Engine.now t.engine) ~topic:"net"
+    "%a crashed" Site_id.pp site
+
+let alive t site = not (is_dead t site)
+
+let trace_net t fmt = Trace.addf (Engine.trace t.engine) ~at:(Engine.now t.engine) ~topic:"net" fmt
+
+let dispatch t site delivery =
+  match t.handler with
+  | None -> failwith "Network: message arrived before set_handler"
+  | Some handler -> handler site delivery
+
+let deliver t envelope =
+  if is_dead t envelope.dst then begin
+    t.lost <- t.lost + 1;
+    trace_net t "%a -> %a %a: lost (destination dead)" Site_id.pp envelope.src
+      Site_id.pp envelope.dst t.pp_payload envelope.payload;
+    tap_emit t (fun at -> Lost { env = envelope; at })
+  end
+  else begin
+    t.delivered <- t.delivered + 1;
+    trace_net t "%a -> %a: deliver %a" Site_id.pp envelope.src Site_id.pp
+      envelope.dst t.pp_payload envelope.payload;
+    tap_emit t (fun at -> Delivered { env = envelope; at });
+    dispatch t envelope.dst (Msg envelope)
+  end
+
+let bounce t envelope =
+  if is_dead t envelope.src then begin
+    t.lost <- t.lost + 1;
+    trace_net t "UD(%a) for %a: lost (sender dead)" t.pp_payload
+      envelope.payload Site_id.pp envelope.src;
+    tap_emit t (fun at -> Lost { env = envelope; at })
+  end
+  else begin
+    t.bounced <- t.bounced + 1;
+    trace_net t "return UD(%a -> %a: %a) to sender" Site_id.pp envelope.src
+      Site_id.pp envelope.dst t.pp_payload envelope.payload;
+    tap_emit t (fun at -> Bounced { env = envelope; at });
+    dispatch t envelope.src (Undeliverable envelope)
+  end
+
+(* A message reaches the boundary-or-destination after one hop (<= T).  If
+   the partition separates the endpoints at that instant the message
+   cannot cross: optimistic mode schedules the return hop (<= T, hence
+   the paper's 2T round-trip envelope), pessimistic mode drops it. *)
+let arrival t envelope () =
+  let now = Engine.now t.engine in
+  if Partition.separated t.partition ~at:now envelope.src envelope.dst then
+    match t.mode with
+    | Pessimistic ->
+        t.lost <- t.lost + 1;
+        trace_net t "%a -> %a %a: lost at boundary B" Site_id.pp envelope.src
+          Site_id.pp envelope.dst t.pp_payload envelope.payload;
+        tap_emit t (fun at -> Lost { env = envelope; at })
+    | Optimistic ->
+        let back =
+          Delay.sample t.delay ~rng:t.rng ~t_max:t.t_max ~src:envelope.dst
+            ~dst:envelope.src
+        in
+        ignore
+          (Engine.schedule t.engine ~rank:Engine.Delivery ~delay:back
+             ~label:"net-bounce" (fun () -> bounce t envelope))
+  else deliver t envelope
+
+let send t ~src ~dst payload =
+  if Site_id.equal src dst then
+    invalid_arg "Network.send: a site does not message itself";
+  let envelope = { src; dst; payload; sent_at = Engine.now t.engine } in
+  if is_dead t src then begin
+    (* A dead site emits nothing: its pending timers may still "fire" in
+       the simulation, but the resulting sends evaporate here. *)
+    t.lost <- t.lost + 1;
+    trace_net t "%a -> %a %a: suppressed (sender dead)" Site_id.pp src
+      Site_id.pp dst t.pp_payload payload;
+    tap_emit t (fun at -> Lost { env = envelope; at })
+  end
+  else begin
+  t.sent <- t.sent + 1;
+  tap_emit t (fun at -> Sent { env = envelope; at });
+  let d = Delay.sample t.delay ~rng:t.rng ~t_max:t.t_max ~src ~dst in
+  trace_net t "%a -> %a: send %a (hop %a)" Site_id.pp src Site_id.pp dst
+    t.pp_payload payload Vtime.pp d;
+  ignore
+    (Engine.schedule t.engine ~rank:Engine.Delivery ~delay:d ~label:"net-hop"
+       (fun () -> arrival t envelope ()))
+  end
+
+let broadcast t ~src payload =
+  List.iter
+    (fun dst -> if not (Site_id.equal src dst) then send t ~src ~dst payload)
+    (Site_id.all ~n:t.n)

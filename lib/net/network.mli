@@ -1,0 +1,102 @@
+(** The message-passing substrate with simple partitioning.
+
+    Implements the paper's two failure models:
+
+    - {e optimistic} (assumption 1 of Section 5.1): a message that cannot
+      cross an active partition boundary is {e returned to its sender} as
+      an undeliverable message, UD(msg).  The round trip (out to the
+      boundary, back to the sender) takes at most [2T].
+    - {e pessimistic}: undeliverable messages are silently lost.  (The
+      paper proves no protocol is resilient in this model; we keep it for
+      the contrast benchmark.)
+
+    Partition membership is evaluated at the would-be arrival instant, so
+    a message sent before a transient partition heals but arriving after
+    is delivered — exactly the message-race structure of Section 6's case
+    analysis.
+
+    Site failures (used only by the Section 7 counterexample experiments;
+    the termination protocol assumes they never coincide with a
+    partition) make a site drop every delivery without any bounce. *)
+
+type 'a envelope = {
+  src : Site_id.t;
+  dst : Site_id.t;
+  payload : 'a;
+  sent_at : Vtime.t;
+}
+
+type 'a delivery =
+  | Msg of 'a envelope  (** normal arrival at [dst] *)
+  | Undeliverable of 'a envelope
+      (** the bounce: delivered back to [src]; the envelope is the
+          original message (paper notation UD(msg)) *)
+
+type mode = Optimistic | Pessimistic
+
+(** Observable fate of a message, for passive taps.  [at] is the
+    virtual time of the event itself (the send, the arrival, the bounce
+    delivery, the loss). *)
+type 'a event =
+  | Sent of { env : 'a envelope; at : Vtime.t }
+  | Delivered of { env : 'a envelope; at : Vtime.t }
+  | Bounced of { env : 'a envelope; at : Vtime.t }
+      (** returned to sender as UD(msg) *)
+  | Lost of { env : 'a envelope; at : Vtime.t }
+      (** pessimistic boundary loss or dead site *)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  bounced : int;  (** returned to sender (optimistic mode) *)
+  lost : int;  (** dropped (pessimistic mode or dead destination) *)
+}
+
+type 'a t
+
+val create :
+  engine:Engine.t ->
+  n:int ->
+  t_max:Vtime.t ->
+  ?mode:mode ->
+  ?partition:Partition.t ->
+  ?delay:Delay.t ->
+  ?seed:int64 ->
+  ?pp_payload:(Format.formatter -> 'a -> unit) ->
+  unit ->
+  'a t
+(** Defaults: [mode = Optimistic], [partition = Partition.none],
+    [delay = Delay.uniform ~t_max], [seed = 1L]. *)
+
+val set_handler : 'a t -> (Site_id.t -> 'a delivery -> unit) -> unit
+(** Installs the delivery callback.  Must be called before any message
+    arrives; sending without a handler raises at delivery time. *)
+
+val set_tap : 'a t -> ('a event -> unit) -> unit
+(** Installs a passive observer of every message fate, called in event
+    order.  Used by the checker's Section 6 case classifier and by the
+    timing benches; protocols must not use it. *)
+
+val send : 'a t -> src:Site_id.t -> dst:Site_id.t -> 'a -> unit
+(** Queues one message.  Self-sends are rejected
+    (@raise Invalid_argument) — sites act on their own state directly. *)
+
+val broadcast : 'a t -> src:Site_id.t -> 'a -> unit
+(** Sends to every other site, in site order. *)
+
+val crash : 'a t -> Site_id.t -> unit
+(** Marks a site dead: every subsequent (and in-flight) delivery to it is
+    lost, with no bounce — a site failure looks like message loss, which
+    is the paper's Section 7 point. *)
+
+val alive : 'a t -> Site_id.t -> bool
+
+val n : 'a t -> int
+
+val t_max : 'a t -> Vtime.t
+
+val partition : 'a t -> Partition.t
+
+val stats : 'a t -> stats
+
+val engine : 'a t -> Engine.t

@@ -1,0 +1,44 @@
+type t = int
+
+let of_int i =
+  if i < 1 then invalid_arg "Site_id.of_int: sites are numbered from 1" else i
+
+let to_int t = t
+
+let master = 1
+
+let is_master t = t = master
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let hash t = t
+
+let pp fmt t =
+  if t = master then Format.pp_print_string fmt "master"
+  else Format.fprintf fmt "site%d" t
+
+let all ~n =
+  if n < 1 then invalid_arg "Site_id.all: need at least one site";
+  List.init n (fun i -> i + 1)
+
+let slaves ~n = List.filter (fun s -> s <> master) (all ~n)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let set_of_ints ints = Set.of_list (List.map of_int ints)
+
+let pp_set fmt set =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       pp)
+    (Set.elements set)

@@ -1,0 +1,109 @@
+type t = {
+  engine : Engine.t;
+  n : int;
+  t_unit : Vtime.t;
+  self : Site_id.t;
+  trans_id : int;
+  send_fn : Site_id.t -> Types.msg -> unit;
+  on_decide : Types.decision -> unit;
+  on_reason : string -> unit;
+  mutable decision : Types.decision option;
+}
+
+let make ~engine ~n ~t_unit ~self ~trans_id ~send ~on_decide ~on_reason () =
+  {
+    engine;
+    n;
+    t_unit;
+    self;
+    trans_id;
+    send_fn = send;
+    on_decide;
+    on_reason;
+    decision = None;
+  }
+
+let engine t = t.engine
+
+let self t = t.self
+
+let n t = t.n
+
+let t_unit t = t.t_unit
+
+let trans_id t = t.trans_id
+
+let now t = Engine.now t.engine
+
+let is_master t = Site_id.is_master t.self
+
+let slaves t = Site_id.slaves ~n:(n t)
+
+let topic t = Format.asprintf "%a" Site_id.pp t.self
+
+let log t fmt =
+  Trace.addf (Engine.trace t.engine) ~at:(now t) ~topic:(topic t) fmt
+
+let send t dst msg = t.send_fn dst msg
+
+let send_master t msg = send t Site_id.master msg
+
+let broadcast_slaves t msg =
+  List.iter
+    (fun dst -> if not (Site_id.equal dst t.self) then send t dst msg)
+    (slaves t)
+
+let broadcast_all t msg =
+  List.iter
+    (fun dst -> if not (Site_id.equal dst t.self) then send t dst msg)
+    (Site_id.all ~n:t.n)
+
+let decided t = t.decision
+
+let reason t note = t.on_reason note
+
+let decide t ?reason:why decision =
+  match t.decision with
+  | Some prior when Types.equal_decision prior decision -> ()
+  | Some prior ->
+      failwith
+        (Format.asprintf "%a: decision flip %a -> %a (protocol bug)" Site_id.pp
+           t.self Types.pp_decision prior Types.pp_decision decision)
+  | None ->
+      t.decision <- Some decision;
+      (match why with Some w -> t.on_reason w | None -> ());
+      log t "DECIDE %a%s" Types.pp_decision decision
+        (match why with Some w -> " (" ^ w ^ ")" | None -> "");
+      t.on_decide decision
+
+module Timer_slot = struct
+  type slot = { mutable handle : Engine.handle option }
+
+  let create () = { handle = None }
+
+  let cancel slot =
+    match slot.handle with
+    | Some h ->
+        Engine.cancel h;
+        slot.handle <- None
+    | None -> ()
+
+  let set_ticks t slot ~ticks ~label f =
+    cancel slot;
+    let handle =
+      Engine.schedule t.engine ~rank:Engine.Timer ~delay:ticks ~label (fun () ->
+          slot.handle <- None;
+          f ())
+    in
+    slot.handle <- Some handle
+
+  let set t slot ~mult_t ~label f =
+    if mult_t <= 0 then invalid_arg "Timer_slot.set: mult_t must be positive";
+    let ticks = Vtime.of_int (mult_t * Vtime.to_int (t_unit t)) in
+    set_ticks t slot ~ticks ~label f
+
+  let armed slot =
+    match slot.handle with
+    | Some h -> not (Engine.cancelled h)
+    | None -> false
+end

@@ -1,0 +1,85 @@
+(** Per-site execution context handed to protocol actors.
+
+    Wraps the engine and network with the operations the paper's
+    protocol descriptions use: send/broadcast, decide, and timers
+    measured in multiples of T (the longest end-to-end propagation
+    delay).  At equal virtual times, message deliveries run before timer
+    expiries (see {!Commit_sim.Engine.rank}), which realises the paper's
+    "times out only if the awaited message cannot still arrive within
+    the bound" semantics exactly. *)
+
+type t
+
+val make :
+  engine:Engine.t ->
+  n:int ->
+  t_unit:Vtime.t ->
+  self:Site_id.t ->
+  trans_id:int ->
+  send:(Site_id.t -> Types.msg -> unit) ->
+  on_decide:(Types.decision -> unit) ->
+  on_reason:(string -> unit) ->
+  unit ->
+  t
+(** [send] delivers one protocol message to another site; the caller
+    (runner or transaction manager) decides how it travels — directly
+    over a {!Network.t}, or multiplexed with a transaction id.  This
+    keeps protocol actors independent of the wire representation. *)
+
+val engine : t -> Engine.t
+
+val self : t -> Site_id.t
+
+val n : t -> int
+
+val t_unit : t -> Vtime.t
+(** T, in ticks (the network's [t_max]). *)
+
+val trans_id : t -> int
+
+val now : t -> Vtime.t
+
+val is_master : t -> bool
+
+val slaves : t -> Site_id.t list
+
+val send : t -> Site_id.t -> Types.msg -> unit
+
+val send_master : t -> Types.msg -> unit
+
+val broadcast_slaves : t -> Types.msg -> unit
+(** To every slave (used by the master; the paper's "send commit_1-n"). *)
+
+val broadcast_all : t -> Types.msg -> unit
+(** To every other site (used by slaves acting for their group). *)
+
+val decide : t -> ?reason:string -> Types.decision -> unit
+(** Records this site's decision (idempotent: a second call with the
+    same decision is ignored; a contradictory second call raises —
+    protocol actors must never flip). *)
+
+val decided : t -> Types.decision option
+
+val reason : t -> string -> unit
+(** Attach a free-form annotation ("FACT1 case 5", ...) retrievable from
+    the run result; used to audit the proof's case analysis. *)
+
+val log : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** A single resettable timer slot, as used by every protocol state
+    ("reset timer 5T"). *)
+module Timer_slot : sig
+  type slot
+
+  val create : unit -> slot
+
+  val set : t -> slot -> mult_t:int -> label:string -> (unit -> unit) -> unit
+  (** Cancels any pending timer in the slot, then arms it for
+      [mult_t * T] from now. *)
+
+  val set_ticks : t -> slot -> ticks:Vtime.t -> label:string -> (unit -> unit) -> unit
+
+  val cancel : slot -> unit
+
+  val armed : slot -> bool
+end

@@ -1,0 +1,18 @@
+(** The extended two-phase commit protocol (paper Fig. 2).
+
+    Two-phase commit with an acknowledgement phase, augmented with the
+    timeout and undeliverable-message transitions obtained from Rule(a)
+    and Rule(b) (Skeen & Stonebraker).  These rules are {e necessary and
+    sufficient} for two-site simple partitioning with return of
+    messages, so for [n = 2] this protocol is resilient; Section 3 of
+    the paper shows it is inconsistent for [n >= 3], which the fig2
+    bench reproduces.
+
+    Derived transitions (see DESIGN.md for the reconstruction):
+    - master w1: timeout -> abort; UD -> abort
+    - master p1 (sent commits, awaiting acks): timeout -> commit
+      (a slave commit state is in C(p1)); UD -> abort (the sender set of
+      p1 is the slave wait state, whose timeout goes to abort)
+    - slave w: timeout -> abort; UD -> abort *)
+
+include Site.S

@@ -1,0 +1,53 @@
+(** A generic interpreter turning a declarative commit-protocol FSA
+    (from [Commit_fsa]) plus an assignment of timeout and
+    undeliverable-message transitions into an executable {!Site.S}
+    actor.
+
+    This closes the loop between the repository's two layers: the
+    hand-written actors (extended 2PC, 3PC+rules) can be cross-validated
+    against the interpretation of their FSAs, and — the real payoff —
+    {e Lemma 3 becomes an exhaustive experiment}: enumerate {e every}
+    possible assignment of timeout/UD outcomes for 3PC's waiting states
+    (2^10 of them) and check that each one either violates atomicity or
+    blocks somewhere on an adversarial grid.  The paper proves no
+    assignment works; the lemma3 bench confirms it mechanically.
+
+    Interpretation semantics:
+    - base transitions follow the FSA; a slave's vote picks between the
+      yes/no branches out of its initial state;
+    - entering a waiting state arms the Fig. 5 timer (master 2T,
+      slave 3T);
+    - a timeout or returned message in a state with an assigned outcome
+      jumps to that role's commit/abort state; the {e master}
+      additionally broadcasts the corresponding command (as the
+      hand-written protocols do — a silent master decision would
+      trivially block every slave);
+    - a state with no assignment ignores the event (and can therefore
+      block, which the verdicts detect). *)
+
+type outcome = [ `To_commit | `To_abort ]
+
+type assignment = {
+  timeouts : ((Commit_fsa.Machine.role * string) * outcome) list;
+  uds : ((Commit_fsa.Machine.role * string) * outcome) list;
+}
+
+val make : name:string -> Commit_fsa.Machine.t -> assignment -> Site.packed
+(** @raise Invalid_argument if the FSA fails validation, if an
+    assignment mentions an unknown or final state, or if a message tag
+    has no {!Types.msg} counterpart. *)
+
+val of_augment : name:string -> Commit_fsa.Augment.t -> Site.packed
+(** The Rule(a)/Rule(b) augmentation as an executable protocol: timeout
+    outcomes from Rule(a); UD outcomes from Rule(b) where it is decided,
+    falling back to the Rule(a) outcome where it is ambiguous. *)
+
+val waiting_states :
+  Commit_fsa.Machine.t -> (Commit_fsa.Machine.role * string) list
+(** The states an assignment ranges over (non-final, message-awaiting),
+    master's first — the enumeration domain of the lemma3 bench. *)
+
+val all_assignments : Commit_fsa.Machine.t -> assignment list
+(** Every total assignment of both timeout and UD outcomes over
+    {!waiting_states} — [4^k] of them for [k] waiting states.  3PC has
+    [k = 5], giving 1024. *)

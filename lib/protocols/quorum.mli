@@ -1,0 +1,46 @@
+(** Quorum-based commit (Skeen 1982 — the paper's reference [5]),
+    implemented as the comparison baseline.
+
+    The failure-free flow is three-phase (it satisfies Lemma 1/2).  On
+    detecting a partition (timeout or returned message) a site starts
+    {e quorum termination}: it polls every site for its phase, waits one
+    round trip, and decides over the group it can reach —
+
+    - any committed member: commit;  any aborted member: abort;
+    - a prepared member and group weight >= commit quorum [V_C]: commit;
+    - no prepared member and group weight >= abort quorum [V_A]: abort;
+    - otherwise stay blocked and re-poll every 5T.
+
+    Skeen's protocol assigns every site a vote weight [V_i] with
+    [V_C + V_A > sum V_i], so the two sides of a simple partition can
+    never decide differently — but a side without a quorum {e blocks},
+    precisely the availability loss the paper's termination protocol
+    avoids (at the price of its stronger model assumptions).  Transient
+    partitions are handled by the periodic re-poll.
+
+    The default export gives every site one vote (majority quorums);
+    {!Make} takes arbitrary positive weights, e.g. a heavier master so
+    the master's side stays live in more cuts. *)
+
+module type WEIGHTS = sig
+  val weight : Site_id.t -> int
+  (** must be positive *)
+end
+
+module Uniform_weights : WEIGHTS
+
+module Make (_ : WEIGHTS) : sig
+  include Site.S
+
+  val total_weight : n:int -> int
+
+  val commit_quorum : n:int -> int
+
+  val abort_quorum : n:int -> int
+end
+
+include Site.S
+
+val commit_quorum : n:int -> int
+
+val abort_quorum : n:int -> int

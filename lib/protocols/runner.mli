@@ -1,0 +1,57 @@
+(** Wires a protocol module to the simulated network, runs one
+    transaction to quiescence, and harvests the result.
+
+    This is the experiment unit everything else builds on: the checker
+    sweeps it over scenario grids, the benches time it, the examples
+    narrate its traces. *)
+
+type config = {
+  n : int;  (** number of participating sites (master = site 1) *)
+  t_unit : Vtime.t;  (** T, the longest end-to-end propagation delay *)
+  mode : Network.mode;
+  partition : Partition.t;
+  delay : Delay.t;
+  seed : int64;
+  votes : (Site_id.t * bool) list;
+      (** per-slave vote overrides; a slave not listed votes yes *)
+  crashes : (Site_id.t * Vtime.t) list;
+      (** site failures (Section 7 experiments only) *)
+  start_at : Vtime.t;  (** when the user's request reaches the master *)
+  horizon : Vtime.t;  (** give-up time for the run *)
+  trace_enabled : bool;
+}
+
+val default_config : ?n:int -> ?t_unit:Vtime.t -> unit -> config
+(** n = 3, t_unit = 1000 ticks, optimistic mode, no partition, uniform
+    delays, seed 1, all-yes votes, start at 0, horizon 50T, tracing on. *)
+
+type site_result = {
+  site : Site_id.t;
+  decision : Types.decision option;  (** [None] = blocked (or crashed) *)
+  decided_at : Vtime.t option;
+  final_state : string;
+  reasons : string list;  (** annotations recorded via {!Ctx.reason} *)
+  crashed : bool;
+}
+
+type result = {
+  protocol_name : string;
+  config : config;
+  sites : site_result array;  (** index i = site i+1 *)
+  net_stats : Network.stats;
+  trace : Trace.t;
+  finished_at : Vtime.t;  (** virtual time when the run quiesced *)
+}
+
+val run :
+  ?tap:(Types.msg Network.event -> unit) -> Site.packed -> config -> result
+(** [tap] observes every message fate (see {!Network.set_tap}); the
+    checker's case classifier and the timing benches use it. *)
+
+val site_result : result -> Site_id.t -> site_result
+
+val decisions : result -> Types.decision option list
+(** In site order. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** One-line-per-site summary. *)

@@ -1,0 +1,26 @@
+type role = Master_role | Slave_role of { vote_yes : bool }
+
+let pp_role fmt = function
+  | Master_role -> Format.pp_print_string fmt "master"
+  | Slave_role { vote_yes } ->
+      Format.fprintf fmt "slave(vote=%s)" (if vote_yes then "yes" else "no")
+
+module type S = sig
+  val name : string
+
+  val blocking_by_design : bool
+
+  type t
+
+  val create : Ctx.t -> role -> t
+
+  val begin_transaction : t -> unit
+
+  val on_delivery : t -> Types.msg Network.delivery -> unit
+
+  val state_name : t -> string
+end
+
+type packed = (module S)
+
+let name (module P : S) = P.name

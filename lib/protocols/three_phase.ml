@@ -1,0 +1,109 @@
+let name = "3pc"
+
+let blocking_by_design = true
+
+type master_state =
+  | M_initial
+  | M_wait of { yes : Site_id.Set.t }  (** w1 *)
+  | M_prepared of { acks : Site_id.Set.t }  (** p1 *)
+  | M_committed
+  | M_aborted
+
+type slave_state = S_initial | S_wait | S_prepared | S_committed | S_aborted
+
+type machine =
+  | Master of master_state
+  | Slave of { vote_yes : bool; state : slave_state }
+
+type t = { ctx : Ctx.t; mutable machine : machine }
+
+let create ctx role =
+  match role with
+  | Site.Master_role -> { ctx; machine = Master M_initial }
+  | Site.Slave_role { vote_yes } ->
+      { ctx; machine = Slave { vote_yes; state = S_initial } }
+
+let state_name t =
+  match t.machine with
+  | Master M_initial -> "q1"
+  | Master (M_wait _) -> "w1"
+  | Master (M_prepared _) -> "p1"
+  | Master M_committed -> "c1"
+  | Master M_aborted -> "a1"
+  | Slave { state = S_initial; _ } -> "q"
+  | Slave { state = S_wait; _ } -> "w"
+  | Slave { state = S_prepared; _ } -> "p"
+  | Slave { state = S_committed; _ } -> "c"
+  | Slave { state = S_aborted; _ } -> "a"
+
+let begin_transaction t =
+  match t.machine with
+  | Master M_initial ->
+      Ctx.broadcast_slaves t.ctx Types.Xact;
+      t.machine <- Master (M_wait { yes = Site_id.Set.empty })
+  | Master (M_wait _ | M_prepared _ | M_committed | M_aborted) | Slave _ -> ()
+
+let on_master t state (envelope : Types.msg Network.envelope) =
+  match (state, envelope.payload) with
+  | M_wait { yes }, Types.Yes ->
+      let yes = Site_id.Set.add envelope.src yes in
+      if Site_id.Set.cardinal yes = Ctx.n t.ctx - 1 then begin
+        Ctx.broadcast_slaves t.ctx Types.Prepare;
+        t.machine <- Master (M_prepared { acks = Site_id.Set.empty })
+      end
+      else t.machine <- Master (M_wait { yes })
+  | M_wait _, Types.No ->
+      Ctx.broadcast_slaves t.ctx Types.Abort_cmd;
+      t.machine <- Master M_aborted;
+      Ctx.decide t.ctx Types.Abort
+  | M_prepared { acks }, Types.Ack ->
+      let acks = Site_id.Set.add envelope.src acks in
+      if Site_id.Set.cardinal acks = Ctx.n t.ctx - 1 then begin
+        Ctx.broadcast_slaves t.ctx Types.Commit_cmd;
+        t.machine <- Master M_committed;
+        Ctx.decide t.ctx Types.Commit
+      end
+      else t.machine <- Master (M_prepared { acks })
+  | (M_initial | M_committed | M_aborted), _
+  | M_wait _, _
+  | M_prepared _, _ ->
+      Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
+        (state_name t)
+
+let on_slave t ~vote_yes state (envelope : Types.msg Network.envelope) =
+  let set state' = t.machine <- Slave { vote_yes; state = state' } in
+  match (state, envelope.payload) with
+  | S_initial, Types.Xact ->
+      if vote_yes then begin
+        Ctx.send_master t.ctx Types.Yes;
+        set S_wait
+      end
+      else begin
+        Ctx.send_master t.ctx Types.No;
+        set S_aborted;
+        Ctx.decide t.ctx Types.Abort ~reason:"voted no"
+      end
+  | S_wait, Types.Prepare ->
+      Ctx.send_master t.ctx Types.Ack;
+      set S_prepared
+  | (S_initial | S_wait | S_prepared), Types.Abort_cmd ->
+      set S_aborted;
+      Ctx.decide t.ctx Types.Abort
+  | S_prepared, Types.Commit_cmd ->
+      set S_committed;
+      Ctx.decide t.ctx Types.Commit
+  | (S_committed | S_aborted), _
+  | S_initial, _
+  | S_wait, _
+  | S_prepared, _ ->
+      Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
+        (state_name t)
+
+let on_delivery t = function
+  | Network.Undeliverable envelope ->
+      Ctx.log t.ctx "UD(%a) ignored (plain 3pc has no UD transitions)"
+        Types.pp_msg envelope.payload
+  | Network.Msg envelope -> (
+      match t.machine with
+      | Master state -> on_master t state envelope
+      | Slave { vote_yes; state } -> on_slave t ~vote_yes state envelope)

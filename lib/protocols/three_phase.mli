@@ -1,0 +1,9 @@
+(** The three-phase commit protocol (paper Fig. 3), unaugmented.
+
+    Satisfies Lemma 1 and Lemma 2 (no local state is concurrent with
+    both outcomes; no noncommittable state is concurrent with a commit),
+    but carries no timeout or undeliverable-message transitions — under
+    a partition it simply blocks, like 2PC.  It is the substrate the
+    termination protocol (lib/core) makes resilient. *)
+
+include Site.S

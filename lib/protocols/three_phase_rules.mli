@@ -1,0 +1,36 @@
+(** Three-phase commit augmented with {e only} timeout and
+    undeliverable-message transitions (Rule(a)/Rule(b)) — the strawman
+    of the paper's Sections 3 and 4, in two resolutions.
+
+    Rule(a) assigns: slave w times out to abort, slave p to commit,
+    master w1 to abort.  For master p1 and the undeliverable-message
+    transitions of the p states the two layers of this repository
+    disagree in an instructive way:
+
+    - the {e mechanical} application of the rules
+      ({!Commit_fsa.Augment} over the failure-free concurrency sets)
+      sends master p1 to {e abort} (C(p1) contains no commit state) and
+      the p-state UD transitions to abort;
+    - the paper's Section 3 {e narrative} ("site2 will timeout and
+      commit") presumes the commit-leaning reading.
+
+    Lemma 3 proves every resolution fails; they differ only in where:
+    [Paper] (the default, name ["3pc+rules"]) violates atomicity with a
+    single-slave cut — the paper's own counterexample, a partition that
+    makes prepare3 undeliverable.  [Strict] (name ["3pc+rules-strict"])
+    survives single-slave cuts but violates atomicity when a cut of two
+    or more slaves splits the acks: one G2 slave's ack passes B, the
+    other's bounces, the master times out in p1 and aborts while the
+    acked, cut-off slave times out in p and commits.  The fig3 bench
+    shows both. *)
+
+module Make (_ : sig
+  val resolution : [ `Paper | `Strict ]
+end) : Site.S
+
+module Paper : Site.S
+
+module Strict : Site.S
+
+include Site.S
+(** [Paper]. *)

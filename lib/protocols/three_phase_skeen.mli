@@ -1,0 +1,28 @@
+(** Three-phase commit with Skeen's cooperative termination protocol for
+    {e site failures} — the paper's reference [4], and the protocol its
+    Section 7 contrasts with ("the termination protocol to be taken for
+    network partitioning is different from the termination protocol to
+    be taken for master site failure which has been proposed by Dale
+    Skeen").
+
+    Failure-free flow: ordinary 3PC.  When a site times out (it lost
+    its master — or, indistinguishably, got cut off), it elects itself
+    terminator and runs the cooperative protocol:
+
+    + poll every site for its phase and wait one round trip;
+    + any committed respondent: commit;  any aborted: abort;
+    + no respondent (nor self) prepared: abort — nobody can have
+      committed, since commitment requires every site prepared;
+    + someone prepared: move the wait-state respondents to prepared
+      (second prepare round), then commit everyone reachable.
+
+    Under the class it was designed for — site failures, including the
+    master's, with {e no} partition — this protocol is nonblocking and
+    consistent, which the master-failure tests verify.  Under a network
+    partition it is {e inconsistent}: the two sides run independent
+    terminators over different evidence (e.g. the G1 side holds a
+    prepared site and commits while the G2 side, all waiters, aborts).
+    That contrast is exactly why the paper needs a different
+    termination protocol for partitioning, and the thm9 bench shows it. *)
+
+include Site.S

@@ -1,0 +1,94 @@
+let name = "2pc"
+
+let blocking_by_design = true
+
+type master_state =
+  | M_initial
+  | M_wait of { yes : Site_id.Set.t }  (** w1: collecting votes *)
+  | M_committed
+  | M_aborted
+
+type slave_state = S_initial | S_wait | S_committed | S_aborted
+
+type machine = Master of master_state | Slave of { vote_yes : bool; state : slave_state }
+
+type t = { ctx : Ctx.t; mutable machine : machine }
+
+let create ctx role =
+  match role with
+  | Site.Master_role -> { ctx; machine = Master M_initial }
+  | Site.Slave_role { vote_yes } ->
+      { ctx; machine = Slave { vote_yes; state = S_initial } }
+
+let state_name t =
+  match t.machine with
+  | Master M_initial -> "q1"
+  | Master (M_wait _) -> "w1"
+  | Master M_committed -> "c1"
+  | Master M_aborted -> "a1"
+  | Slave { state = S_initial; _ } -> "q"
+  | Slave { state = S_wait; _ } -> "w"
+  | Slave { state = S_committed; _ } -> "c"
+  | Slave { state = S_aborted; _ } -> "a"
+
+let begin_transaction t =
+  match t.machine with
+  | Master M_initial ->
+      Ctx.log t.ctx "request received; sending xact to all slaves";
+      Ctx.broadcast_slaves t.ctx Types.Xact;
+      t.machine <- Master (M_wait { yes = Site_id.Set.empty })
+  | Master (M_wait _ | M_committed | M_aborted) | Slave _ -> ()
+
+let master_all_yes t yes =
+  Site_id.Set.cardinal yes = Ctx.n t.ctx - 1
+
+let on_master t state (envelope : Types.msg Network.envelope) =
+  match (state, envelope.payload) with
+  | M_wait { yes }, Types.Yes ->
+      let yes = Site_id.Set.add envelope.src yes in
+      if master_all_yes t yes then begin
+        Ctx.broadcast_slaves t.ctx Types.Commit_cmd;
+        t.machine <- Master M_committed;
+        Ctx.decide t.ctx Types.Commit
+      end
+      else t.machine <- Master (M_wait { yes })
+  | M_wait _, Types.No ->
+      Ctx.broadcast_slaves t.ctx Types.Abort_cmd;
+      t.machine <- Master M_aborted;
+      Ctx.decide t.ctx Types.Abort
+  | (M_initial | M_committed | M_aborted), _ | M_wait _, _ ->
+      Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
+        (state_name t)
+
+let on_slave t ~vote_yes state (envelope : Types.msg Network.envelope) =
+  match (state, envelope.payload) with
+  | S_initial, Types.Xact ->
+      if vote_yes then begin
+        Ctx.send_master t.ctx Types.Yes;
+        t.machine <- Slave { vote_yes; state = S_wait }
+      end
+      else begin
+        Ctx.send_master t.ctx Types.No;
+        t.machine <- Slave { vote_yes; state = S_aborted };
+        Ctx.decide t.ctx Types.Abort ~reason:"voted no"
+      end
+  | (S_initial | S_wait), Types.Commit_cmd ->
+      t.machine <- Slave { vote_yes; state = S_committed };
+      Ctx.decide t.ctx Types.Commit
+  | (S_initial | S_wait), Types.Abort_cmd ->
+      t.machine <- Slave { vote_yes; state = S_aborted };
+      Ctx.decide t.ctx Types.Abort
+  | (S_initial | S_wait | S_committed | S_aborted), _ ->
+      Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
+        (state_name t)
+
+let on_delivery t = function
+  | Network.Undeliverable envelope ->
+      (* Pure 2PC has no undeliverable-message transitions: the bounce is
+         observed and dropped — this is exactly why it blocks. *)
+      Ctx.log t.ctx "UD(%a) ignored (2pc has no UD transitions)" Types.pp_msg
+        envelope.payload
+  | Network.Msg envelope -> (
+      match t.machine with
+      | Master state -> on_master t state envelope
+      | Slave { vote_yes; state } -> on_slave t ~vote_yes state envelope)

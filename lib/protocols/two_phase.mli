@@ -1,0 +1,8 @@
+(** The two-phase commit protocol (paper Fig. 1).
+
+    Pure 2PC: no timeout and no undeliverable-message transitions.  Under
+    a partition (or a silent master) every in-doubt site blocks, holding
+    its locks — the behaviour whose cost motivates the whole paper.  The
+    master decides at the instant it sends the commit/abort commands. *)
+
+include Site.S

@@ -1,0 +1,59 @@
+type decision = Commit | Abort
+
+let pp_decision fmt = function
+  | Commit -> Format.pp_print_string fmt "commit"
+  | Abort -> Format.pp_print_string fmt "abort"
+
+let equal_decision a b =
+  match (a, b) with
+  | Commit, Commit | Abort, Abort -> true
+  | Commit, Abort | Abort, Commit -> false
+
+type phase = Ph_initial | Ph_wait | Ph_prepared | Ph_committed | Ph_aborted
+
+let pp_phase fmt p =
+  Format.pp_print_string fmt
+    (match p with
+    | Ph_initial -> "initial"
+    | Ph_wait -> "wait"
+    | Ph_prepared -> "prepared"
+    | Ph_committed -> "committed"
+    | Ph_aborted -> "aborted")
+
+type msg =
+  | Xact
+  | Yes
+  | No
+  | Pre_prepare
+  | Pre_ack
+  | Prepare
+  | Ack
+  | Commit_cmd
+  | Abort_cmd
+  | Probe of { trans_id : int; slave : Site_id.t }
+  | State_inquiry of { coordinator : Site_id.t }
+  | State_answer of { phase : phase }
+
+let msg_tag = function
+  | Xact -> "xact"
+  | Yes -> "yes"
+  | No -> "no"
+  | Pre_prepare -> "pre-prepare"
+  | Pre_ack -> "pre-ack"
+  | Prepare -> "prepare"
+  | Ack -> "ack"
+  | Commit_cmd -> "commit"
+  | Abort_cmd -> "abort"
+  | Probe _ -> "probe"
+  | State_inquiry _ -> "state-inquiry"
+  | State_answer _ -> "state-answer"
+
+let pp_msg fmt = function
+  | Probe { trans_id; slave } ->
+      Format.fprintf fmt "probe(t%d,%a)" trans_id Site_id.pp slave
+  | State_inquiry { coordinator } ->
+      Format.fprintf fmt "state-inquiry(%a)" Site_id.pp coordinator
+  | State_answer { phase } -> Format.fprintf fmt "state-answer(%a)" pp_phase phase
+  | (Xact | Yes | No | Pre_prepare | Pre_ack | Prepare | Ack | Commit_cmd
+    | Abort_cmd) as m ->
+      Format.pp_print_string fmt (msg_tag m)

@@ -1,0 +1,42 @@
+(** Shared vocabulary of the executable commit protocols.
+
+    One message alphabet serves every protocol in the repository; each
+    protocol simply never sends the tags it does not use.  [Probe] is the
+    termination protocol's probe(trans_id, slave_id) message
+    (Section 5.3); [State_inquiry]/[State_answer] belong to the
+    quorum-commit baseline's termination rule. *)
+
+type decision = Commit | Abort
+
+val pp_decision : Format.formatter -> decision -> unit
+
+val equal_decision : decision -> decision -> bool
+
+(** A slave's phase, as reported during quorum termination. *)
+type phase = Ph_initial | Ph_wait | Ph_prepared | Ph_committed | Ph_aborted
+
+val pp_phase : Format.formatter -> phase -> unit
+
+type msg =
+  | Xact  (** master -> slaves: the transaction itself *)
+  | Yes  (** slave -> master: intent to commit *)
+  | No  (** slave -> master: unilateral abort *)
+  | Pre_prepare
+      (** master -> slaves: the extra buffering phase of the four-phase
+          commit used by the Theorem 10 construction *)
+  | Pre_ack  (** slave -> master: pre-prepare acknowledged *)
+  | Prepare  (** master -> slaves: 3PC second phase *)
+  | Ack  (** slave -> master: prepare acknowledged *)
+  | Commit_cmd  (** commit command *)
+  | Abort_cmd  (** abort command *)
+  | Probe of { trans_id : int; slave : Site_id.t }
+      (** termination protocol: sent to the master by a slave that timed
+          out in state p *)
+  | State_inquiry of { coordinator : Site_id.t }
+      (** quorum termination: the elected in-group coordinator polls *)
+  | State_answer of { phase : phase }
+
+val pp_msg : Format.formatter -> msg -> unit
+
+val msg_tag : msg -> string
+(** Short stable tag ("xact", "probe", ...) used in traces and tests. *)

@@ -1,0 +1,108 @@
+type rank = Delivery | Timer | Background
+
+let rank_code = function Delivery -> 0 | Timer -> 1 | Background -> 2
+
+type handle = { mutable live : bool }
+
+type event = {
+  at : Vtime.t;
+  code : int;
+  seq : int;
+  label : string;
+  action : unit -> unit;
+  handle : handle;
+}
+
+type t = {
+  mutable clock : Vtime.t;
+  queue : event Heap.t;
+  trace : Trace.t;
+  mutable next_seq : int;
+  mutable executed : int;
+  mutable live_pending : int;
+}
+
+let compare_event a b =
+  let c = Vtime.compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.code b.code in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?trace () =
+  let trace = match trace with Some t -> t | None -> Trace.create () in
+  {
+    clock = Vtime.zero;
+    queue = Heap.create ~cmp:compare_event ();
+    trace;
+    next_seq = 0;
+    executed = 0;
+    live_pending = 0;
+  }
+
+let now t = t.clock
+
+let trace t = t.trace
+
+let pending t = t.live_pending
+
+let events_run t = t.executed
+
+let schedule_at t ?(rank = Background) ~at ~label action =
+  if Vtime.( < ) at t.clock then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Vtime.pp at
+         Vtime.pp t.clock);
+  let handle = { live = true } in
+  let event =
+    { at; code = rank_code rank; seq = t.next_seq; label; action; handle }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.live_pending <- t.live_pending + 1;
+  Heap.push t.queue event;
+  handle
+
+let schedule t ?rank ~delay ~label action =
+  schedule_at t ?rank ~at:(Vtime.add t.clock delay) ~label action
+
+let cancel handle =
+  handle.live <- false
+
+let cancelled handle = not handle.live
+
+(* Cancelled events stay in the heap and are skipped at pop time, so
+   [pending] counts queued events including not-yet-drained cancelled
+   ones; it reaches zero exactly when the queue is exhausted. *)
+
+let rec next_live t =
+  match Heap.pop t.queue with
+  | None -> None
+  | Some event ->
+      t.live_pending <- t.live_pending - 1;
+      if event.handle.live then Some event else next_live t
+
+let step t =
+  match next_live t with
+  | None -> false
+  | Some event ->
+      t.clock <- event.at;
+      event.handle.live <- false;
+      t.executed <- t.executed + 1;
+      event.action ();
+      true
+
+let default_max_events = 10_000_000
+
+let run ?(until = Vtime.infinity) ?(max_events = default_max_events) t =
+  let budget = ref max_events in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some event when Vtime.( < ) until event.at -> continue := false
+    | Some _ ->
+        if step t then decr budget else continue := false
+  done;
+  if !budget = 0 then
+    Trace.addf t.trace ~at:t.clock ~topic:"engine"
+      "run aborted after %d events (runaway guard)" max_events

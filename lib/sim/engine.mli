@@ -1,0 +1,57 @@
+(** The discrete-event simulation engine.
+
+    Events are executed in order of [(time, rank, sequence)].  The rank
+    makes the paper's timing arguments exact: a timeout of length [2T]
+    fires only if no message arriving at or before [now + 2T] preempts
+    it, because at equal timestamps {!rank} [Delivery] events run before
+    [Timer] events.  The sequence number makes runs deterministic. *)
+
+type t
+
+type handle
+(** A scheduled event.  Handles support cancellation, which is how
+    protocol timers are reset (paper: "reset timer 5T"). *)
+
+(** Execution order among events sharing a timestamp. *)
+type rank =
+  | Delivery  (** message arrivals (network layer) *)
+  | Timer  (** protocol timeouts *)
+  | Background  (** everything else (workload injection, probes) *)
+
+val create : ?trace:Trace.t -> unit -> t
+(** A fresh engine at time {!Vtime.zero}.  [trace] defaults to a fresh
+    enabled trace. *)
+
+val now : t -> Vtime.t
+
+val trace : t -> Trace.t
+
+val pending : t -> int
+(** Number of queued events (cancelled events are counted until they are
+    drained; the count is zero exactly when the queue is empty). *)
+
+val events_run : t -> int
+(** Number of events executed so far. *)
+
+val schedule :
+  t -> ?rank:rank -> delay:Vtime.t -> label:string -> (unit -> unit) -> handle
+(** [schedule t ~delay ~label f] runs [f] at time [now t + delay].
+    [rank] defaults to [Background]. *)
+
+val schedule_at :
+  t -> ?rank:rank -> at:Vtime.t -> label:string -> (unit -> unit) -> handle
+(** Absolute-time variant.  @raise Invalid_argument if [at] is in the
+    past. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-run or already-cancelled event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val step : t -> bool
+(** Runs the next event.  [false] when the queue is empty. *)
+
+val run : ?until:Vtime.t -> ?max_events:int -> t -> unit
+(** Runs events until the queue empties, virtual time would exceed
+    [until], or [max_events] have executed (a runaway guard; default
+    ten million).  Events scheduled beyond [until] remain queued. *)

@@ -1,0 +1,32 @@
+(** A polymorphic binary min-heap used as the simulator's event queue.
+
+    Elements are ordered by a caller-supplied total order.  The heap is
+    stable if the order itself breaks ties (the simulation engine orders
+    events by [(time, rank, sequence)] so that execution is fully
+    deterministic). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list_unordered : 'a t -> 'a list
+(** Snapshot of the contents in internal (heap) order; used by tests and
+    introspection only. *)

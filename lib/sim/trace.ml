@@ -1,0 +1,49 @@
+type entry = { at : Vtime.t; topic : string; text : string }
+
+type t = { enabled : bool; mutable rev_entries : entry list; mutable count : int }
+
+let create ?(enabled = true) () = { enabled; rev_entries = []; count = 0 }
+
+let enabled t = t.enabled
+
+let add t ~at ~topic text =
+  if t.enabled then begin
+    t.rev_entries <- { at; topic; text } :: t.rev_entries;
+    t.count <- t.count + 1
+  end
+
+let addf t ~at ~topic fmt =
+  if t.enabled then
+    Format.kasprintf (fun text -> add t ~at ~topic text) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.std_formatter fmt
+
+let entries t = List.rev t.rev_entries
+
+let length t = t.count
+
+let filter ~topic t =
+  List.filter (fun e -> String.equal e.topic topic) (entries t)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec scan i =
+      if i + nn > nh then false
+      else if String.equal (String.sub haystack i nn) needle then true
+      else scan (i + 1)
+    in
+    scan 0
+
+let find t ~pattern =
+  List.find_opt (fun e -> contains_substring e.text pattern) (entries t)
+
+let mem t ~pattern = Option.is_some (find t ~pattern)
+
+let pp_entry fmt e =
+  Format.fprintf fmt "[%6s] %-8s %s"
+    (Format.asprintf "%a" Vtime.pp e.at)
+    e.topic e.text
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) (entries t)

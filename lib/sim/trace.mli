@@ -1,0 +1,49 @@
+(** Structured execution traces.
+
+    Every layer of the stack (network, protocol actors, database) appends
+    timestamped entries tagged with a topic.  Traces make the paper's
+    counterexamples inspectable: the example programs replay them
+    entry-by-entry. *)
+
+type entry = {
+  at : Vtime.t;
+  topic : string;  (** e.g. ["net"], ["site2"], ["master"], ["db"]. *)
+  text : string;
+}
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** [create ()] is an empty trace.  With [~enabled:false], {!add} is a
+    no-op — sweeps use disabled traces to stay allocation-light. *)
+
+val enabled : t -> bool
+
+val add : t -> at:Vtime.t -> topic:string -> string -> unit
+
+val addf :
+  t ->
+  at:Vtime.t ->
+  topic:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+(** Formatted {!add}.  The format arguments are not evaluated when the
+    trace is disabled. *)
+
+val entries : t -> entry list
+(** All entries, in append (chronological) order. *)
+
+val length : t -> int
+
+val filter : topic:string -> t -> entry list
+(** Entries whose topic equals [topic]. *)
+
+val find : t -> pattern:string -> entry option
+(** First entry whose text contains [pattern] as a substring. *)
+
+val mem : t -> pattern:string -> bool
+
+val pp : Format.formatter -> t -> unit
+(** One line per entry: [\[  123\] topic: text]. *)
+
+val pp_entry : Format.formatter -> entry -> unit

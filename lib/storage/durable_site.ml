@@ -1,0 +1,139 @@
+module Int_map = Map.Make (Int)
+
+type t = {
+  mutable wal : Wal.record list;  (* reversed; stable *)
+  db : Kv.t;  (* stable *)
+  mutable volatile_staged : Wal.update list Int_map.t;
+}
+
+type recovery_report = {
+  redone : int list;
+  in_doubt : int list;
+  aborted : int list;
+}
+
+let create () = { wal = []; db = Kv.create (); volatile_staged = Int_map.empty }
+
+let append t record = t.wal <- record :: t.wal
+
+let wal_records t = List.rev t.wal
+
+let status t ~tid =
+  (* The newest record wins; End implies a past Commit_log. *)
+  let rec scan = function
+    | [] -> `Unknown
+    | record :: older -> (
+        if Wal.tid_of record <> tid then scan older
+        else
+          match record with
+          | Wal.End _ -> `Ended
+          | Wal.Commit_log _ -> `Committed
+          | Wal.Abort_log _ -> `Aborted
+          | Wal.Prepared _ -> `Prepared
+          | Wal.Begin _ -> `Active)
+  in
+  scan t.wal
+
+let begin_transaction t ~tid =
+  match status t ~tid with
+  | `Unknown -> append t (Wal.Begin { tid })
+  | `Active | `Prepared | `Committed | `Aborted | `Ended ->
+      invalid_arg (Printf.sprintf "Durable_site: tid %d already known" tid)
+
+let require t ~tid expected =
+  let got = status t ~tid in
+  if not (List.mem got expected) then
+    invalid_arg
+      (Printf.sprintf "Durable_site: tid %d in unexpected state" tid)
+
+let stage t ~tid updates =
+  require t ~tid [ `Active; `Prepared ];
+  t.volatile_staged <- Int_map.add tid updates t.volatile_staged
+
+let staged t ~tid =
+  match Int_map.find_opt tid t.volatile_staged with
+  | Some updates -> updates
+  | None -> []
+
+let prepare t ~tid =
+  require t ~tid [ `Active ];
+  append t (Wal.Prepared { tid })
+
+let apply_updates t updates = List.iter (fun (u : Wal.update) -> Kv.set t.db ~key:u.key ~value:u.value) updates
+
+let crash t = t.volatile_staged <- Int_map.empty
+
+let commit t ?crash_after ~tid () =
+  require t ~tid [ `Active; `Prepared ];
+  let updates = staged t ~tid in
+  append t (Wal.Commit_log { tid; updates });
+  (match crash_after with
+  | None ->
+      apply_updates t updates;
+      append t (Wal.End { tid });
+      t.volatile_staged <- Int_map.remove tid t.volatile_staged
+  | Some n ->
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | u :: rest -> u :: take (k - 1) rest
+      in
+      apply_updates t (take n updates);
+      crash t)
+
+let abort t ~tid =
+  require t ~tid [ `Active; `Prepared ];
+  append t (Wal.Abort_log { tid });
+  t.volatile_staged <- Int_map.remove tid t.volatile_staged
+
+let recover t =
+  crash t;
+  let tids =
+    List.fold_left
+      (fun acc record ->
+        let tid = Wal.tid_of record in
+        if List.mem tid acc then acc else tid :: acc)
+      [] (wal_records t)
+    |> List.rev
+  in
+  let redone = ref [] and in_doubt = ref [] and aborted = ref [] in
+  List.iter
+    (fun tid ->
+      match status t ~tid with
+      | `Ended | `Aborted | `Unknown -> ()
+      | `Committed ->
+          (* Redo every update from the commit log; idempotence makes
+             replaying already-applied ones harmless. *)
+          let updates =
+            List.fold_left
+              (fun acc record ->
+                match record with
+                | Wal.Commit_log { tid = t'; updates } when t' = tid ->
+                    Some updates
+                | Wal.Commit_log _ | Wal.Begin _ | Wal.Prepared _
+                | Wal.Abort_log _ | Wal.End _ ->
+                    acc)
+              None (wal_records t)
+          in
+          apply_updates t (Option.value updates ~default:[]);
+          append t (Wal.End { tid });
+          redone := tid :: !redone
+      | `Prepared -> in_doubt := tid :: !in_doubt
+      | `Active ->
+          append t (Wal.Abort_log { tid });
+          aborted := tid :: !aborted)
+    tids;
+  {
+    redone = List.rev !redone;
+    in_doubt = List.rev !in_doubt;
+    aborted = List.rev !aborted;
+  }
+
+let read t key = Kv.get t.db key
+
+let database t = t.db
+
+let pp fmt t =
+  Format.fprintf fmt "wal:@.";
+  List.iter (fun r -> Format.fprintf fmt "  %a@." Wal.pp r) (wal_records t);
+  Format.fprintf fmt "db: %a@." Kv.pp t.db

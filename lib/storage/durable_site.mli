@@ -1,0 +1,66 @@
+(** A single site's durable transaction state — the paper's Section 2
+    scheme, executable.
+
+    Stable storage holds the write-ahead log and the database; staged
+    updates (the "partially executed transaction") are volatile.  The
+    commit sequence is: force the {!Wal.Commit_log} record (with the
+    update information), then apply the updates to the database, then
+    write {!Wal.End}.  A crash at any point is recovered by {!recover}:
+
+    - transactions with a commit log but no end record are {e redone} —
+      safe because updates are idempotent;
+    - transactions that reached [Prepared] but have no decision are
+      reported {e in doubt} (a 3PC participant must ask the termination
+      protocol, not decide locally);
+    - transactions with only a [Begin] are aborted, exactly as the paper
+      prescribes ("immediately upon recovery the site will abort"). *)
+
+type t
+
+type recovery_report = {
+  redone : int list;  (** committed transactions whose updates were replayed *)
+  in_doubt : int list;  (** prepared, undecided — escalate to termination *)
+  aborted : int list;  (** begun but never prepared/committed *)
+}
+
+val create : unit -> t
+
+val begin_transaction : t -> tid:int -> unit
+(** @raise Invalid_argument if the tid was already begun. *)
+
+val stage : t -> tid:int -> Wal.update list -> unit
+(** Buffer updates in volatile memory (repeatable; replaces earlier
+    staging for the tid). *)
+
+val staged : t -> tid:int -> Wal.update list
+
+val prepare : t -> tid:int -> unit
+(** Force a [Prepared] record (3PC state p must survive restarts). *)
+
+val commit : t -> ?crash_after:int -> tid:int -> unit -> unit
+(** Force the commit log, then apply the staged updates and write
+    [End].  [crash_after n] injects a crash after [n] updates have been
+    applied: the site loses volatile state and no [End] is written —
+    the recovery tests' bread and butter. *)
+
+val abort : t -> tid:int -> unit
+
+val crash : t -> unit
+(** Lose all volatile state (staged updates).  Stable WAL and database
+    survive. *)
+
+val recover : t -> recovery_report
+(** Redo incomplete committed transactions (idempotently), abort
+    unprepared ones, report prepared-undecided ones. *)
+
+val read : t -> string -> string option
+
+val database : t -> Kv.t
+
+val wal_records : t -> Wal.record list
+(** In append order. *)
+
+val status :
+  t -> tid:int -> [ `Unknown | `Active | `Prepared | `Committed | `Aborted | `Ended ]
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+module String_map = Map.Make (String)
+
+type t = {
+  mutable data : string String_map.t;
+  mutable applications : int;
+}
+
+let create () = { data = String_map.empty; applications = 0 }
+
+let get t key = String_map.find_opt key t.data
+
+let set t ~key ~value =
+  t.data <- String_map.add key value t.data;
+  t.applications <- t.applications + 1
+
+let remove t key =
+  t.data <- String_map.remove key t.data;
+  t.applications <- t.applications + 1
+
+let keys t = List.map fst (String_map.bindings t.data)
+
+let cardinal t = String_map.cardinal t.data
+
+let applications t = t.applications
+
+let snapshot t = String_map.bindings t.data
+
+let restore bindings =
+  {
+    data = List.fold_left (fun m (k, v) -> String_map.add k v m) String_map.empty bindings;
+    applications = 0;
+  }
+
+let equal_contents a b = String_map.equal String.equal a.data b.data
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt (k, v) -> Format.fprintf fmt "%s=%s" k v))
+    (snapshot t)

@@ -1,0 +1,33 @@
+(** A small versioned key-value store — the "database" each site keeps.
+
+    Writes are absolute (idempotent): applying the same update twice is
+    the same as once, which is the property the paper's redo recovery
+    relies on.  The store counts applications so tests can verify that
+    recovery replays are harmless. *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> string -> string option
+
+val set : t -> key:string -> value:string -> unit
+
+val remove : t -> string -> unit
+
+val keys : t -> string list
+(** Sorted. *)
+
+val cardinal : t -> int
+
+val applications : t -> int
+(** Total number of [set]/[remove] operations ever applied. *)
+
+val snapshot : t -> (string * string) list
+(** Sorted association list. *)
+
+val restore : (string * string) list -> t
+
+val equal_contents : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

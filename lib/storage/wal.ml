@@ -1,0 +1,112 @@
+type update = { key : string; value : string }
+
+type record =
+  | Begin of { tid : int }
+  | Prepared of { tid : int }
+  | Commit_log of { tid : int; updates : update list }
+  | Abort_log of { tid : int }
+  | End of { tid : int }
+
+let tid_of = function
+  | Begin { tid }
+  | Prepared { tid }
+  | Commit_log { tid; _ }
+  | Abort_log { tid }
+  | End { tid } ->
+      tid
+
+(* Percent-escape the characters the wire format uses as structure. *)
+let escape s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' | '=' | ';' | ' ' | '\n' ->
+          Buffer.add_string buffer (Printf.sprintf "%%%02X" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let unescape s =
+  let buffer = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buffer)
+    else if s.[i] = '%' then
+      if i + 2 >= n then Error "truncated escape"
+      else
+        match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+        | Some code ->
+            Buffer.add_char buffer (Char.chr code);
+            go (i + 3)
+        | None -> Error "bad escape"
+    else begin
+      Buffer.add_char buffer s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let encode = function
+  | Begin { tid } -> Printf.sprintf "begin %d" tid
+  | Prepared { tid } -> Printf.sprintf "prepared %d" tid
+  | Abort_log { tid } -> Printf.sprintf "abort %d" tid
+  | End { tid } -> Printf.sprintf "end %d" tid
+  | Commit_log { tid; updates } ->
+      Printf.sprintf "commit %d %s" tid
+        (String.concat ";"
+           (List.map
+              (fun { key; value } -> escape key ^ "=" ^ escape value)
+              updates))
+
+let decode_update field =
+  match String.index_opt field '=' with
+  | None -> Error (Printf.sprintf "update %S has no '='" field)
+  | Some i -> (
+      let raw_key = String.sub field 0 i in
+      let raw_value = String.sub field (i + 1) (String.length field - i - 1) in
+      match (unescape raw_key, unescape raw_value) with
+      | Ok key, Ok value -> Ok { key; value }
+      | Error e, _ | _, Error e -> Error e)
+
+let decode line =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.split_on_char ' ' line with
+  | [ "begin"; tid ] -> (
+      match int_of_string_opt tid with
+      | Some tid -> Ok (Begin { tid })
+      | None -> fail "bad tid %S" tid)
+  | [ "prepared"; tid ] -> (
+      match int_of_string_opt tid with
+      | Some tid -> Ok (Prepared { tid })
+      | None -> fail "bad tid %S" tid)
+  | [ "abort"; tid ] -> (
+      match int_of_string_opt tid with
+      | Some tid -> Ok (Abort_log { tid })
+      | None -> fail "bad tid %S" tid)
+  | [ "end"; tid ] -> (
+      match int_of_string_opt tid with
+      | Some tid -> Ok (End { tid })
+      | None -> fail "bad tid %S" tid)
+  | [ "commit"; tid ] | [ "commit"; tid; "" ] -> (
+      match int_of_string_opt tid with
+      | Some tid -> Ok (Commit_log { tid; updates = [] })
+      | None -> fail "bad tid %S" tid)
+  | [ "commit"; tid; updates ] -> (
+      match int_of_string_opt tid with
+      | None -> fail "bad tid %S" tid
+      | Some tid ->
+          let fields = String.split_on_char ';' updates in
+          let rec parse acc = function
+            | [] -> Ok (Commit_log { tid; updates = List.rev acc })
+            | f :: rest -> (
+                match decode_update f with
+                | Ok u -> parse (u :: acc) rest
+                | Error e -> Error e)
+          in
+          parse [] fields)
+  | _ -> fail "unrecognised record %S" line
+
+let pp fmt r = Format.pp_print_string fmt (encode r)
+
+let equal a b = a = b

@@ -1,0 +1,34 @@
+(** Write-ahead log records (paper, Section 2).
+
+    The paper's single-site scheme: before committing, a site forces a
+    {e commit log} record containing the transaction's update
+    information to stable storage; updates are then applied
+    idempotently, so replaying them after a crash is harmless.  We add
+    the [Prepared] record needed by three-phase participants (reaching
+    state p must survive a restart) and an [End] record marking that all
+    updates reached the database, which bounds redo work.
+
+    Records have a trivial line-oriented wire format ([encode]/[decode])
+    so the log can be dumped, diffed and property-tested. *)
+
+type update = { key : string; value : string }
+
+type record =
+  | Begin of { tid : int }
+  | Prepared of { tid : int }
+  | Commit_log of { tid : int; updates : update list }
+      (** the decisive record: once on stable storage, the transaction
+          commits at this site *)
+  | Abort_log of { tid : int }
+  | End of { tid : int }  (** all updates applied to the database *)
+
+val tid_of : record -> int
+
+val encode : record -> string
+(** Single line, no ['\n']. *)
+
+val decode : string -> (record, string) result
+
+val pp : Format.formatter -> record -> unit
+
+val equal : record -> record -> bool

@@ -1,0 +1,428 @@
+(* Tests for the scenario checker (lib/checker): verdicts, grids,
+   sweeps, and the Section 6 case classifier. *)
+
+let check = Alcotest.check
+
+
+let t_unit = Vtime.of_int 1000
+
+let config ?(n = 3) ?(partition = Partition.none)
+    ?(delay = Delay.uniform ~t_max:t_unit) ?(seed = 1L) () =
+  let base = Runner.default_config ~n ~t_unit () in
+  { base with Runner.partition; delay; seed; trace_enabled = false }
+
+let partition ?heals_after ~g2 ~at ~n () =
+  let starts_at = Vtime.of_int at in
+  Partition.make
+    ?heals_at:
+      (Option.map (fun h -> Vtime.add starts_at (Vtime.of_int h)) heals_after)
+    ~group2:(Site_id.set_of_ints g2) ~starts_at ~n ()
+
+(* ------------------------------------------------------------------ *)
+(* Verdict                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_verdict_committed () =
+  let result = Runner.run (module Termination.Static) (config ()) in
+  let v = Verdict.of_result result in
+  check Alcotest.bool "atomic" true v.atomic;
+  check Alcotest.int "3 committed" 3 (List.length v.committed);
+  check Alcotest.bool "resilient" true (Verdict.resilient v);
+  check Alcotest.bool "outcome" true (Verdict.outcome v = `Committed);
+  check Alcotest.bool "has max decision time" true (v.max_decision_time <> None)
+
+let test_verdict_mixed () =
+  (* The ext2pc Section 3 counterexample yields a Mixed outcome. *)
+  let p = partition ~g2:[ 3 ] ~at:2100 ~n:3 () in
+  let result =
+    Runner.run
+      (module Ext_two_phase)
+      (config ~partition:p ~delay:(Delay.full ~t_max:t_unit) ())
+  in
+  let v = Verdict.of_result result in
+  check Alcotest.bool "not atomic" false v.atomic;
+  check Alcotest.bool "mixed" true (Verdict.outcome v = `Mixed);
+  check Alcotest.bool "not resilient" false (Verdict.resilient v)
+
+let test_verdict_blocked_and_vacuous () =
+  (* 2pc with the transaction cut off from site3 before delivery:
+     master+site2 block mid-protocol; site3 never heard of it. *)
+  let p = partition ~g2:[ 3 ] ~at:100 ~n:3 () in
+  let result =
+    Runner.run
+      (module Two_phase)
+      (config ~partition:p ~delay:(Delay.full ~t_max:t_unit) ())
+  in
+  let v = Verdict.of_result result in
+  check Alcotest.bool "undecided" true (Verdict.outcome v = `Undecided);
+  check Alcotest.bool "blocked nonempty" true (v.blocked <> []);
+  check Alcotest.(list int) "site3 vacuous"
+    [ 3 ]
+    (List.map Site_id.to_int v.vacuous);
+  check Alcotest.bool "not resilient" false (Verdict.resilient v)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario grids                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_cuts () =
+  let cuts3 = Scenario.all_cuts ~n:3 in
+  check Alcotest.int "2^(n-1)-1 cuts for n=3" 3 (List.length cuts3);
+  let cuts5 = Scenario.all_cuts ~n:5 in
+  check Alcotest.int "15 cuts for n=5" 15 (List.length cuts5);
+  check Alcotest.bool "master never in G2" true
+    (List.for_all
+       (fun cut -> not (Site_id.Set.mem Site_id.master cut))
+       cuts5);
+  check Alcotest.bool "no empty cut" true
+    (List.for_all (fun cut -> not (Site_id.Set.is_empty cut)) cuts5)
+
+let test_instants () =
+  let ts = Scenario.instants ~t_unit ~until_mult:2 ~per_t:4 in
+  check Alcotest.int "8 instants" 8 (List.length ts);
+  check Alcotest.int "first" 250 (List.hd ts);
+  check Alcotest.int "last" 2000 (List.nth ts 7)
+
+let test_configs_product () =
+  let base = Runner.default_config ~n:3 ~t_unit () in
+  let grid =
+    {
+      Scenario.cuts = Scenario.all_cuts ~n:3;
+      starts = Scenario.instants ~t_unit ~until_mult:2 ~per_t:1;
+      heals_after = [ None; Some (Vtime.of_int 500) ];
+      delays = [ Delay.minimal ];
+      seeds = [ 1L; 2L ];
+      votes = [ [] ];
+    }
+  in
+  let configs = Scenario.configs ~base grid in
+  check Alcotest.int "cartesian size" (3 * 2 * 2 * 1 * 2) (List.length configs)
+
+let test_all_multi_cuts () =
+  check Alcotest.(list (list (list int))) "n=2 has none" []
+    (List.map
+       (List.map (fun s -> List.map Site_id.to_int (Site_id.Set.elements s)))
+       (Scenario.all_multi_cuts ~n:2));
+  (* Stirling numbers: S(3,3) = 1; S(4,3) + S(4,4) = 6 + 1 = 7. *)
+  check Alcotest.int "n=3 -> 1 multiple partitioning" 1
+    (List.length (Scenario.all_multi_cuts ~n:3));
+  check Alcotest.int "n=4 -> 7 multiple partitionings" 7
+    (List.length (Scenario.all_multi_cuts ~n:4));
+  List.iter
+    (fun cells ->
+      let union =
+        List.fold_left Site_id.Set.union Site_id.Set.empty cells
+      in
+      check Alcotest.int "cells cover all sites" 4 (Site_id.Set.cardinal union);
+      check Alcotest.bool "at least 3 cells" true (List.length cells >= 3))
+    (Scenario.all_multi_cuts ~n:4)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_grid ~n =
+  let base = Runner.default_config ~n ~t_unit () in
+  Scenario.configs ~base
+    {
+      Scenario.cuts = Scenario.all_cuts ~n;
+      starts = Scenario.instants ~t_unit ~until_mult:6 ~per_t:1;
+      heals_after = [ None ];
+      delays = [ Delay.full ~t_max:t_unit ];
+      seeds = [ 1L ];
+      votes = [ [] ];
+    }
+
+let test_sweep_accounting () =
+  let configs = tiny_grid ~n:3 in
+  let summary = Sweep.run (module Termination.Static) configs in
+  check Alcotest.int "all runs counted" (List.length configs) summary.runs;
+  check Alcotest.int "partition"
+    (summary.committed + summary.aborted + summary.undecided
+   + summary.violations)
+    summary.runs;
+  check Alcotest.int "termination never violates" 0 summary.violations
+
+let test_sweep_collects_examples () =
+  let summary = Sweep.run ~keep:2 (module Two_phase) (tiny_grid ~n:3) in
+  check Alcotest.bool "blocked runs found" true (summary.blocked_runs > 0);
+  check Alcotest.bool "examples kept" true
+    (List.length summary.blocked_examples > 0
+    && List.length summary.blocked_examples <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Case classifier                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let observe ?heals_after ~g2 ~at ?(delay = Delay.full ~t_max:t_unit)
+    ?(protocol = (module Termination.Static : Site.S)) ?(n = 3) () =
+  let p = partition ?heals_after ~g2 ~at ~n () in
+  Cases.observe protocol (config ~n ~partition:p ~delay ())
+
+let case_t : Timing.case option Alcotest.testable =
+  Alcotest.testable
+    (fun fmt -> function
+      | None -> Format.pp_print_string fmt "none"
+      | Some c -> Timing.pp_case fmt c)
+    ( = )
+
+let test_case_none_before_prepare () =
+  (* Partition before any prepare exists: outside the Section 6 tree. *)
+  let obs = observe ~g2:[ 3 ] ~at:100 () in
+  check case_t "no case" None obs.case
+
+let test_case_1 () =
+  (* Partition at 2.1T: prepares leave at 2T with full delays and all
+     bounce — no prepare passes B. *)
+  let obs = observe ~g2:[ 3 ] ~at:2100 () in
+  check case_t "case 1" (Some Timing.Case_1) obs.case
+
+let test_case_3_1 () =
+  (* Prepares delivered at 3T; the cut at 3.05T bounces the acks. *)
+  let obs = observe ~g2:[ 3 ] ~at:3050 () in
+  check case_t "case 3.1" (Some Timing.Case_3_1) obs.case
+
+let test_case_2_1 () =
+  (* The asymmetric per-link scenario cut at 1815 ticks: prepare3 was
+     delivered (1810) but its ack (1820) bounces, and prepare4 (slow
+     link) bounces -> some prepares pass, some acks do not. *)
+  let delay =
+    Delay.Per_link
+      (fun src dst ->
+        match (Site_id.to_int src, Site_id.to_int dst) with
+        | 1, 4 | 4, 1 -> Vtime.of_int 900
+        | 1, 3 | 3, 1 -> Vtime.of_int 10
+        | _, _ -> Vtime.of_int 100)
+  in
+  let obs = observe ~g2:[ 3; 4 ] ~at:1815 ~delay ~n:4 () in
+  check case_t "case 2.1" (Some Timing.Case_2_1) obs.case
+
+let test_case_3_2_2_2_static_unbounded () =
+  let obs = observe ~g2:[ 2 ] ~at:1750 ~heals_after:1000
+      ~delay:(Delay.uniform ~t_max:t_unit) () in
+  check case_t "case 3.2.2.2" (Some Timing.Case_3_2_2_2) obs.case;
+  (* Static protocol: the probing slave never decides. *)
+  check Alcotest.bool "unbounded wait" true
+    (List.exists (fun (_, w) -> w = None) obs.probe_waits)
+
+let test_case_3_2_2_2_transient_bounded () =
+  let obs =
+    observe
+      ~protocol:(module Termination.Transient)
+      ~g2:[ 2 ] ~at:1750 ~heals_after:1000
+      ~delay:(Delay.uniform ~t_max:t_unit) ()
+  in
+  check case_t "case 3.2.2.2" (Some Timing.Case_3_2_2_2) obs.case;
+  List.iter
+    (fun (s, w) ->
+      match w with
+      | Some w ->
+          check Alcotest.bool
+            (Format.asprintf "%a decided at 5T sharp" Site_id.pp s)
+            true (w = 5000)
+      | None -> Alcotest.fail "transient slave undecided")
+    obs.probe_waits
+
+let test_case_3_2_1_harmless () =
+  (* Partition only after the commits landed: every generation passed
+     B; the partition was harmless. *)
+  let obs = observe ~g2:[ 2 ] ~at:5050 () in
+  check case_t "case 3.2.1" (Some Timing.Case_3_2_1) obs.case
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_empty () =
+  check Alcotest.bool "empty is None" true (Stats.of_list [] = None)
+
+let test_stats_quantiles () =
+  match Stats.of_list (List.init 100 (fun i -> i + 1)) with
+  | None -> Alcotest.fail "expected stats"
+  | Some s ->
+      check Alcotest.int "count" 100 s.Stats.count;
+      check Alcotest.int "min" 1 s.Stats.min;
+      check Alcotest.int "p50" 50 s.Stats.p50;
+      check Alcotest.int "p90" 90 s.Stats.p90;
+      check Alcotest.int "p99" 99 s.Stats.p99;
+      check Alcotest.int "max" 100 s.Stats.max;
+      check (Alcotest.float 0.001) "mean" 50.5 s.Stats.mean
+
+let test_stats_singleton () =
+  match Stats.of_list [ 7 ] with
+  | None -> Alcotest.fail "expected stats"
+  | Some s ->
+      check Alcotest.int "all quantiles equal" 7 s.Stats.p50;
+      check Alcotest.int "max" 7 s.Stats.max
+
+(* ------------------------------------------------------------------ *)
+(* Diagram                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_diagram_contents () =
+  let p = partition ~g2:[ 3 ] ~at:2100 ~n:3 () in
+  let cfg = config ~partition:p ~delay:(Delay.full ~t_max:t_unit) () in
+  let rendered = Diagram.run (module Termination.Static) cfg in
+  let contains needle =
+    let nh = String.length rendered and nn = String.length needle in
+    let rec scan i =
+      if i + nn > nh then false
+      else if String.sub rendered i nn = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  check Alcotest.bool "has header" true (contains "master");
+  check Alcotest.bool "shows the partition" true (contains "partition@2100");
+  check Alcotest.bool "shows a bounce" true (contains "UD(prepare)");
+  check Alcotest.bool "shows the decision" true (contains "ABORT (collect-abort)");
+  check Alcotest.bool "shows arrows" true (contains "-->");
+  (* deterministic: rendering twice is identical *)
+  check Alcotest.string "deterministic" rendered
+    (Diagram.run (module Termination.Static) cfg)
+
+let test_diagram_collect_chronological () =
+  let p = partition ~g2:[ 3 ] ~at:2100 ~n:3 () in
+  let cfg = config ~partition:p ~delay:(Delay.full ~t_max:t_unit) () in
+  let events, result = Diagram.collect (module Termination.Static) cfg in
+  check Alcotest.bool "nonempty" true (events <> []);
+  check Alcotest.bool "run decided" true
+    ((Runner.site_result result (Site_id.of_int 1)).decision <> None);
+  let times =
+    List.map
+      (function
+        | Diagram.Message { at; _ }
+        | Diagram.Decision { at; _ }
+        | Diagram.Boundary { at; _ } ->
+            at)
+      events
+  in
+  let sorted = List.sort Vtime.compare times in
+  check Alcotest.bool "chronological" true (times = sorted)
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_encoding () =
+  let open Export in
+  check Alcotest.string "escaping" "{\"a\\\"b\":\"x\\ny\"}"
+    (to_string (Obj [ ("a\"b", String "x\ny") ]));
+  check Alcotest.string "list" "[1,true,null,\"s\"]"
+    (to_string (List [ Int 1; Bool true; Null; String "s" ]));
+  check Alcotest.string "float" "2.5" (to_string (Float 2.5));
+  check Alcotest.string "nested" "{\"k\":[{\"x\":0}]}"
+    (to_string (Obj [ ("k", List [ Obj [ ("x", Int 0) ] ]) ]))
+
+let test_json_summary_shape () =
+  let summary =
+    Sweep.run (module Termination.Static)
+      (tiny_grid ~n:3)
+  in
+  let json = Export.to_string (Export.of_summary summary) in
+  let contains needle =
+    let nh = String.length json and nn = String.length needle in
+    let rec scan i =
+      if i + nn > nh then false
+      else if String.sub json i nn = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  check Alcotest.bool "protocol field" true
+    (contains "\"protocol\":\"termination\"");
+  check Alcotest.bool "violations field" true (contains "\"violations\":0");
+  check Alcotest.bool "valid-ish" true
+    (String.length json > 2 && json.[0] = '{')
+
+let test_json_stats_and_verdict () =
+  (match Stats.of_list [ 1; 2; 3 ] with
+  | Some stats ->
+      check Alcotest.string "stats json"
+        "{\"count\":3,\"min\":1,\"p50\":2,\"p90\":3,\"p99\":3,\"max\":3,\"mean\":2.0}"
+        (Export.to_string (Export.of_stats stats))
+  | None -> Alcotest.fail "stats expected");
+  let result = Runner.run (module Termination.Static) (config ()) in
+  let json = Export.to_string (Export.of_verdict (Verdict.of_result result)) in
+  check Alcotest.bool "verdict outcome" true
+    (String.length json > 0 && json.[0] = '{')
+
+(* ------------------------------------------------------------------ *)
+(* Facts plumbing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_admissible_reason_lists () =
+  check Alcotest.int "six slave commit cases" 6
+    (List.length (Facts.admissible_commit_reasons_slave ~variant:Termination.Static));
+  check Alcotest.int "transient adds one" 7
+    (List.length
+       (Facts.admissible_commit_reasons_slave ~variant:Termination.Transient));
+  check Alcotest.int "three master commit cases" 3
+    (List.length Facts.admissible_commit_reasons_master)
+
+let test_audit_clean_run () =
+  let result = Runner.run (module Termination.Static) (config ()) in
+  check Alcotest.bool "clean" true (Facts.audit result = Ok ())
+
+let () =
+  Alcotest.run "commit_checker"
+    [
+      ( "verdict",
+        [
+          Alcotest.test_case "committed" `Quick test_verdict_committed;
+          Alcotest.test_case "mixed" `Quick test_verdict_mixed;
+          Alcotest.test_case "blocked and vacuous" `Quick
+            test_verdict_blocked_and_vacuous;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "all cuts" `Quick test_all_cuts;
+          Alcotest.test_case "instants" `Quick test_instants;
+          Alcotest.test_case "configs product" `Quick test_configs_product;
+          Alcotest.test_case "all multi cuts" `Quick test_all_multi_cuts;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "accounting" `Quick test_sweep_accounting;
+          Alcotest.test_case "collects examples" `Quick
+            test_sweep_collects_examples;
+        ] );
+      ( "cases",
+        [
+          Alcotest.test_case "pre-prepare is no case" `Quick
+            test_case_none_before_prepare;
+          Alcotest.test_case "case 1" `Quick test_case_1;
+          Alcotest.test_case "case 3.1" `Quick test_case_3_1;
+          Alcotest.test_case "case 2.1" `Quick test_case_2_1;
+          Alcotest.test_case "case 3.2.2.2 static unbounded" `Quick
+            test_case_3_2_2_2_static_unbounded;
+          Alcotest.test_case "case 3.2.2.2 transient bounded" `Quick
+            test_case_3_2_2_2_transient_bounded;
+          Alcotest.test_case "case 3.2.1 harmless" `Quick test_case_3_2_1_harmless;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "quantiles" `Quick test_stats_quantiles;
+          Alcotest.test_case "singleton" `Quick test_stats_singleton;
+        ] );
+      ( "diagram",
+        [
+          Alcotest.test_case "contents" `Quick test_diagram_contents;
+          Alcotest.test_case "collect is chronological" `Quick
+            test_diagram_collect_chronological;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json encoding" `Quick test_json_encoding;
+          Alcotest.test_case "summary shape" `Quick test_json_summary_shape;
+          Alcotest.test_case "stats and verdict" `Quick
+            test_json_stats_and_verdict;
+        ] );
+      ( "facts",
+        [
+          Alcotest.test_case "admissible reasons" `Quick
+            test_admissible_reason_lists;
+          Alcotest.test_case "audit clean run" `Quick test_audit_clean_run;
+        ] );
+    ]

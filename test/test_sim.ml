@@ -1,0 +1,402 @@
+(* Unit and property tests for the simulation kernel (lib/sim). *)
+
+let check = Alcotest.check
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Vtime                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_vtime_add_saturates () =
+  check Alcotest.int "inf + 1 = inf" Vtime.infinity
+    (Vtime.add Vtime.infinity (Vtime.of_int 1));
+  check Alcotest.int "1 + inf = inf" Vtime.infinity
+    (Vtime.add (Vtime.of_int 1) Vtime.infinity);
+  check Alcotest.int "overflow saturates" Vtime.infinity
+    (Vtime.add (Vtime.infinity - 1) (Vtime.infinity - 1))
+
+let test_vtime_sub_clips () =
+  check Alcotest.int "3 - 5 = 0" 0 (Vtime.sub (Vtime.of_int 3) (Vtime.of_int 5));
+  check Alcotest.int "5 - 3 = 2" 2 (Vtime.sub (Vtime.of_int 5) (Vtime.of_int 3));
+  check Alcotest.int "inf - x = inf" Vtime.infinity
+    (Vtime.sub Vtime.infinity (Vtime.of_int 7))
+
+let test_vtime_of_int_negative () =
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Vtime.of_int: negative") (fun () ->
+      ignore (Vtime.of_int (-1)))
+
+let test_vtime_pp () =
+  check Alcotest.string "plain" "42" (Format.asprintf "%a" Vtime.pp (Vtime.of_int 42));
+  check Alcotest.string "inf" "inf" (Format.asprintf "%a" Vtime.pp Vtime.infinity);
+  check Alcotest.string "in T" "2.50T"
+    (Format.asprintf "%a" (Vtime.pp_in_t ~unit_t:(Vtime.of_int 1000)) (Vtime.of_int 2500))
+
+let vtime_add_commutative =
+  QCheck.Test.make ~name:"Vtime.add commutative"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) ->
+      Vtime.add (Vtime.of_int a) (Vtime.of_int b)
+      = Vtime.add (Vtime.of_int b) (Vtime.of_int a))
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let heap_sorts =
+  QCheck.Test.make ~name:"Heap pops in sorted order"
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let heap_stable_with_seq =
+  QCheck.Test.make ~name:"Heap is stable when the order includes a sequence"
+    QCheck.(list (int_bound 5))
+    (fun keys ->
+      let cmp (k1, s1) (k2, s2) =
+        let c = Int.compare k1 k2 in
+        if c <> 0 then c else Int.compare s1 s2
+      in
+      let h = Heap.create ~cmp () in
+      List.iteri (fun i k -> Heap.push h (k, i)) keys;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      let out = drain [] in
+      (* Within equal keys, sequence numbers ascend. *)
+      let rec ok = function
+        | (k1, s1) :: ((k2, s2) :: _ as rest) ->
+            (k1 < k2 || (k1 = k2 && s1 < s2)) && ok rest
+        | [ _ ] | [] -> true
+      in
+      ok out)
+
+let test_heap_basics () =
+  let h = Heap.create ~cmp:Int.compare () in
+  check Alcotest.bool "empty" true (Heap.is_empty h);
+  check Alcotest.(option int) "peek empty" None (Heap.peek h);
+  Heap.push h 3;
+  Heap.push h 1;
+  Heap.push h 2;
+  check Alcotest.int "length" 3 (Heap.length h);
+  check Alcotest.(option int) "peek min" (Some 1) (Heap.peek h);
+  check Alcotest.int "pop_exn" 1 (Heap.pop_exn h);
+  Heap.clear h;
+  check Alcotest.bool "cleared" true (Heap.is_empty h);
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7L in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 20 (fun _ -> Rng.next_int64 b) in
+  check Alcotest.bool "streams differ" true (xs <> ys)
+
+let rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds"
+    QCheck.(pair (int_bound 1000) small_nat)
+    (fun (bound, seed) ->
+      let bound = bound + 1 in
+      let rng = Rng.create (Int64.of_int seed) in
+      let v = Rng.int rng ~bound in
+      0 <= v && v < bound)
+
+let rng_int_in_range =
+  QCheck.Test.make ~name:"Rng.int_in stays in the inclusive range"
+    QCheck.(triple (int_range 0 100) (int_range 0 100) small_nat)
+    (fun (a, b, seed) ->
+      let lo = Stdlib.min a b and hi = Stdlib.max a b in
+      let rng = Rng.create (Int64.of_int seed) in
+      let v = Rng.int_in rng ~lo ~hi in
+      lo <= v && v <= hi)
+
+let rng_float_unit_interval =
+  QCheck.Test.make ~name:"Rng.float in [0,1)" QCheck.small_nat (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let f = Rng.float rng in
+      0.0 <= f && f < 1.0)
+
+let rng_shuffle_permutes =
+  QCheck.Test.make ~name:"Rng.shuffle permutes"
+    QCheck.(pair (list int) small_nat)
+    (fun (xs, seed) ->
+      let arr = Array.of_list xs in
+      Rng.shuffle (Rng.create (Int64.of_int seed)) arr;
+      List.sort Int.compare (Array.to_list arr) = List.sort Int.compare xs)
+
+let test_rng_pick () =
+  let rng = Rng.create 3L in
+  let xs = [ 1; 2; 3; 4 ] in
+  for _ = 1 to 50 do
+    check Alcotest.bool "member" true (List.mem (Rng.pick rng xs) xs)
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Rng.pick rng []))
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_order_and_filter () =
+  let t = Trace.create () in
+  Trace.add t ~at:(Vtime.of_int 1) ~topic:"a" "one";
+  Trace.add t ~at:(Vtime.of_int 2) ~topic:"b" "two";
+  Trace.addf t ~at:(Vtime.of_int 3) ~topic:"a" "three %d" 3;
+  check Alcotest.int "length" 3 (Trace.length t);
+  check
+    Alcotest.(list string)
+    "append order"
+    [ "one"; "two"; "three 3" ]
+    (List.map (fun (e : Trace.entry) -> e.text) (Trace.entries t));
+  check Alcotest.int "filter a" 2 (List.length (Trace.filter ~topic:"a" t));
+  check Alcotest.bool "mem" true (Trace.mem t ~pattern:"three");
+  check Alcotest.bool "not mem" false (Trace.mem t ~pattern:"four")
+
+let test_trace_disabled () =
+  let t = Trace.create ~enabled:false () in
+  Trace.add t ~at:Vtime.zero ~topic:"x" "ignored";
+  Trace.addf t ~at:Vtime.zero ~topic:"x" "ignored %d" 1;
+  check Alcotest.int "no entries" 0 (Trace.length t)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_time_order () =
+  let e = Engine.create () in
+  let out = ref [] in
+  let note tag () = out := tag :: !out in
+  ignore (Engine.schedule e ~delay:(Vtime.of_int 30) ~label:"c" (note "c"));
+  ignore (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:"a" (note "a"));
+  ignore (Engine.schedule e ~delay:(Vtime.of_int 20) ~label:"b" (note "b"));
+  Engine.run e;
+  check Alcotest.(list string) "time order" [ "a"; "b"; "c" ] (List.rev !out);
+  check Alcotest.int "clock at last event" 30 (Engine.now e)
+
+let test_engine_rank_order () =
+  let e = Engine.create () in
+  let out = ref [] in
+  let note tag () = out := tag :: !out in
+  ignore
+    (Engine.schedule e ~rank:Engine.Background ~delay:(Vtime.of_int 10)
+       ~label:"bg" (note "background"));
+  ignore
+    (Engine.schedule e ~rank:Engine.Timer ~delay:(Vtime.of_int 10) ~label:"t"
+       (note "timer"));
+  ignore
+    (Engine.schedule e ~rank:Engine.Delivery ~delay:(Vtime.of_int 10)
+       ~label:"d" (note "delivery"));
+  Engine.run e;
+  check
+    Alcotest.(list string)
+    "delivery < timer < background"
+    [ "delivery"; "timer"; "background" ]
+    (List.rev !out)
+
+let test_engine_fifo_within_rank () =
+  let e = Engine.create () in
+  let out = ref [] in
+  for i = 1 to 5 do
+    ignore
+      (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:"x" (fun () ->
+           out := i :: !out))
+  done;
+  Engine.run e;
+  check Alcotest.(list int) "insertion order" [ 1; 2; 3; 4; 5 ] (List.rev !out)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let handle =
+    Engine.schedule e ~delay:(Vtime.of_int 5) ~label:"x" (fun () -> fired := true)
+  in
+  Engine.cancel handle;
+  check Alcotest.bool "cancelled" true (Engine.cancelled handle);
+  Engine.run e;
+  check Alcotest.bool "did not fire" false !fired
+
+let test_engine_schedule_in_past () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:"x" (fun () -> ()));
+  Engine.run e;
+  check Alcotest.int "now" 10 (Engine.now e);
+  let raised =
+    try
+      ignore (Engine.schedule_at e ~at:(Vtime.of_int 5) ~label:"y" (fun () -> ()));
+      false
+    with Invalid_argument _ -> true
+  in
+  check Alcotest.bool "past rejected" true raised
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:"tick" tick)
+  in
+  ignore (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:"tick" tick);
+  Engine.run ~until:(Vtime.of_int 55) e;
+  check Alcotest.int "five ticks" 5 !count;
+  (* The sixth tick is still queued, not lost. *)
+  check Alcotest.bool "pending remains" true (Engine.pending e > 0);
+  Engine.run ~until:(Vtime.of_int 100) e;
+  check Alcotest.int "ten ticks" 10 !count
+
+let test_engine_max_events_guard () =
+  let e = Engine.create () in
+  let rec forever () =
+    ignore (Engine.schedule e ~delay:(Vtime.of_int 1) ~label:"loop" forever)
+  in
+  ignore (Engine.schedule e ~delay:(Vtime.of_int 1) ~label:"loop" forever);
+  Engine.run ~max_events:1000 e;
+  check Alcotest.int "stopped by guard" 1000 (Engine.events_run e)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule e ~delay:(Vtime.of_int 5) ~label:"outer" (fun () ->
+         times := Engine.now e :: !times;
+         ignore
+           (Engine.schedule e ~delay:(Vtime.of_int 7) ~label:"inner" (fun () ->
+                times := Engine.now e :: !times))));
+  Engine.run e;
+  check Alcotest.(list int) "nested fires at 12" [ 5; 12 ] (List.rev !times)
+
+let test_engine_same_time_nested () =
+  (* An event scheduling another event at delay 0 runs it at the same
+     timestamp, after the currently-queued same-time events (sequence
+     order). *)
+  let e = Engine.create () in
+  let out = ref [] in
+  ignore
+    (Engine.schedule e ~delay:(Vtime.of_int 5) ~label:"a" (fun () ->
+         out := "a" :: !out;
+         ignore
+           (Engine.schedule e ~delay:Vtime.zero ~label:"c" (fun () ->
+                out := "c" :: !out))));
+  ignore
+    (Engine.schedule e ~delay:(Vtime.of_int 5) ~label:"b" (fun () ->
+         out := "b" :: !out));
+  Engine.run e;
+  check Alcotest.(list string) "a b c" [ "a"; "b"; "c" ] (List.rev !out);
+  check Alcotest.int "still at 5" 5 (Engine.now e)
+
+let test_engine_cancel_from_event () =
+  (* One event cancels a later one from inside its callback. *)
+  let e = Engine.create () in
+  let fired = ref false in
+  let victim =
+    Engine.schedule e ~delay:(Vtime.of_int 10) ~label:"victim" (fun () ->
+        fired := true)
+  in
+  ignore
+    (Engine.schedule e ~delay:(Vtime.of_int 5) ~label:"assassin" (fun () ->
+         Engine.cancel victim));
+  Engine.run e;
+  check Alcotest.bool "victim never fired" false !fired;
+  check Alcotest.int "only the assassin ran" 1 (Engine.events_run e)
+
+let test_engine_events_run_counts () =
+  let e = Engine.create () in
+  for _ = 1 to 7 do
+    ignore (Engine.schedule e ~delay:(Vtime.of_int 1) ~label:"x" ignore)
+  done;
+  check Alcotest.int "pending before" 7 (Engine.pending e);
+  Engine.run e;
+  check Alcotest.int "ran all" 7 (Engine.events_run e);
+  check Alcotest.int "pending after" 0 (Engine.pending e)
+
+let engine_executes_in_time_order =
+  QCheck.Test.make ~name:"Engine executes any schedule in time order"
+    QCheck.(list (int_bound 1000))
+    (fun delays ->
+      let e = Engine.create () in
+      let seen = ref [] in
+      List.iter
+        (fun d ->
+          ignore
+            (Engine.schedule e ~delay:(Vtime.of_int d) ~label:"x" (fun () ->
+                 seen := Engine.now e :: !seen)))
+        delays;
+      Engine.run e;
+      let seen = List.rev !seen in
+      List.sort Int.compare seen = seen
+      && List.length seen = List.length delays)
+
+let () =
+  Alcotest.run "commit_sim"
+    [
+      ( "vtime",
+        [
+          Alcotest.test_case "add saturates" `Quick test_vtime_add_saturates;
+          Alcotest.test_case "sub clips" `Quick test_vtime_sub_clips;
+          Alcotest.test_case "of_int rejects negatives" `Quick
+            test_vtime_of_int_negative;
+          Alcotest.test_case "pretty printing" `Quick test_vtime_pp;
+          qtest vtime_add_commutative;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basics" `Quick test_heap_basics;
+          qtest heap_sorts;
+          qtest heap_stable_with_seq;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          qtest rng_int_in_bounds;
+          qtest rng_int_in_range;
+          qtest rng_float_unit_interval;
+          qtest rng_shuffle_permutes;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "order and filter" `Quick test_trace_order_and_filter;
+          Alcotest.test_case "disabled is a no-op" `Quick test_trace_disabled;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_time_order;
+          Alcotest.test_case "rank order at equal times" `Quick
+            test_engine_rank_order;
+          Alcotest.test_case "FIFO within rank" `Quick
+            test_engine_fifo_within_rank;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "scheduling in the past" `Quick
+            test_engine_schedule_in_past;
+          Alcotest.test_case "run ~until" `Quick test_engine_run_until;
+          Alcotest.test_case "runaway guard" `Quick test_engine_max_events_guard;
+          Alcotest.test_case "nested scheduling" `Quick
+            test_engine_nested_scheduling;
+          Alcotest.test_case "same-time nesting order" `Quick
+            test_engine_same_time_nested;
+          Alcotest.test_case "cancel from an event" `Quick
+            test_engine_cancel_from_event;
+          Alcotest.test_case "event accounting" `Quick
+            test_engine_events_run_counts;
+          qtest engine_executes_in_time_order;
+        ] );
+    ]

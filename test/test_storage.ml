@@ -1,0 +1,405 @@
+(* Tests for the single-site durability substrate (lib/storage):
+   WAL encode/decode, the KV store, and the Section 2 crash-recovery
+   scheme with idempotent redo. *)
+
+let check = Alcotest.check
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Wal                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let record_t : Wal.record Alcotest.testable = Alcotest.testable Wal.pp Wal.equal
+
+let test_wal_roundtrip_basics () =
+  let records =
+    [
+      Wal.Begin { tid = 1 };
+      Wal.Prepared { tid = 42 };
+      Wal.Abort_log { tid = 7 };
+      Wal.End { tid = 3 };
+      Wal.Commit_log { tid = 9; updates = [] };
+      Wal.Commit_log
+        {
+          tid = 9;
+          updates =
+            [ { Wal.key = "a"; value = "1" }; { Wal.key = "b"; value = "2" } ];
+        };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Wal.decode (Wal.encode r) with
+      | Ok r' -> check record_t "roundtrip" r r'
+      | Error e -> Alcotest.fail e)
+    records
+
+let test_wal_escaping () =
+  let nasty =
+    Wal.Commit_log
+      {
+        tid = 5;
+        updates =
+          [
+            { Wal.key = "k=ey;with nasty%chars"; value = "v\nwith = stuff;" };
+            { Wal.key = ""; value = "" };
+          ];
+      }
+  in
+  let line = Wal.encode nasty in
+  check Alcotest.bool "single line" true (not (String.contains line '\n'));
+  match Wal.decode line with
+  | Ok r -> check record_t "nasty roundtrip" nasty r
+  | Error e -> Alcotest.fail e
+
+let test_wal_decode_errors () =
+  let bad = [ "nonsense"; "begin x"; "commit"; "prepared"; "commit 3 a" ] in
+  List.iter
+    (fun line ->
+      match Wal.decode line with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not decode" line)
+      | Error _ -> ())
+    bad
+
+let wal_roundtrip_property =
+  QCheck.Test.make ~name:"Wal encode/decode roundtrip (arbitrary updates)"
+    QCheck.(
+      pair (int_range 1 100000) (list (pair printable_string printable_string)))
+    (fun (tid, kvs) ->
+      let updates = List.map (fun (key, value) -> { Wal.key; value }) kvs in
+      let r = Wal.Commit_log { tid; updates } in
+      match Wal.decode (Wal.encode r) with
+      | Ok r' -> Wal.equal r r'
+      | Error _ -> false)
+
+let test_wal_tid_of () =
+  check Alcotest.int "tid" 4 (Wal.tid_of (Wal.Prepared { tid = 4 }));
+  check Alcotest.int "tid" 8 (Wal.tid_of (Wal.Commit_log { tid = 8; updates = [] }))
+
+(* ------------------------------------------------------------------ *)
+(* Kv                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_kv_basics () =
+  let kv = Kv.create () in
+  check Alcotest.(option string) "missing" None (Kv.get kv "x");
+  Kv.set kv ~key:"x" ~value:"1";
+  Kv.set kv ~key:"y" ~value:"2";
+  Kv.set kv ~key:"x" ~value:"3";
+  check Alcotest.(option string) "overwritten" (Some "3") (Kv.get kv "x");
+  check Alcotest.int "cardinal" 2 (Kv.cardinal kv);
+  check Alcotest.int "applications" 3 (Kv.applications kv);
+  Kv.remove kv "x";
+  check Alcotest.(option string) "removed" None (Kv.get kv "x");
+  check Alcotest.(list string) "keys sorted" [ "y" ] (Kv.keys kv)
+
+let test_kv_snapshot_restore () =
+  let kv = Kv.create () in
+  Kv.set kv ~key:"b" ~value:"2";
+  Kv.set kv ~key:"a" ~value:"1";
+  let snap = Kv.snapshot kv in
+  check Alcotest.(list (pair string string)) "sorted snapshot"
+    [ ("a", "1"); ("b", "2") ]
+    snap;
+  let kv' = Kv.restore snap in
+  check Alcotest.bool "equal contents" true (Kv.equal_contents kv kv')
+
+let kv_set_idempotent =
+  QCheck.Test.make ~name:"Kv absolute writes are idempotent"
+    QCheck.(list (pair small_string small_string))
+    (fun kvs ->
+      let a = Kv.create () and b = Kv.create () in
+      List.iter (fun (key, value) -> Kv.set a ~key ~value) kvs;
+      List.iter (fun (key, value) -> Kv.set b ~key ~value) kvs;
+      List.iter (fun (key, value) -> Kv.set b ~key ~value) kvs;
+      (* applied twice *)
+      Kv.equal_contents a b)
+
+(* ------------------------------------------------------------------ *)
+(* Durable_site: the Section 2 scheme                                  *)
+(* ------------------------------------------------------------------ *)
+
+let updates = [ { Wal.key = "a"; value = "1" }; { Wal.key = "b"; value = "2" } ]
+
+let test_happy_path_commit () =
+  let s = Durable_site.create () in
+  Durable_site.begin_transaction s ~tid:1;
+  check Alcotest.bool "active" true (Durable_site.status s ~tid:1 = `Active);
+  Durable_site.stage s ~tid:1 updates;
+  check Alcotest.(option string) "not yet visible" None (Durable_site.read s "a");
+  Durable_site.commit s ~tid:1 ();
+  check Alcotest.(option string) "a" (Some "1") (Durable_site.read s "a");
+  check Alcotest.(option string) "b" (Some "2") (Durable_site.read s "b");
+  check Alcotest.bool "ended" true (Durable_site.status s ~tid:1 = `Ended);
+  (* WAL shape: begin, commit, end. *)
+  match Durable_site.wal_records s with
+  | [ Wal.Begin _; Wal.Commit_log _; Wal.End _ ] -> ()
+  | other ->
+      Alcotest.fail
+        (Format.asprintf "unexpected WAL: %a"
+           (Format.pp_print_list Wal.pp)
+           other)
+
+let test_abort_discards () =
+  let s = Durable_site.create () in
+  Durable_site.begin_transaction s ~tid:1;
+  Durable_site.stage s ~tid:1 updates;
+  Durable_site.abort s ~tid:1;
+  check Alcotest.(option string) "nothing applied" None (Durable_site.read s "a");
+  check Alcotest.bool "aborted" true (Durable_site.status s ~tid:1 = `Aborted)
+
+let test_double_begin_rejected () =
+  let s = Durable_site.create () in
+  Durable_site.begin_transaction s ~tid:1;
+  let raised =
+    try
+      Durable_site.begin_transaction s ~tid:1;
+      false
+    with Invalid_argument _ -> true
+  in
+  check Alcotest.bool "double begin raises" true raised
+
+let test_commit_unknown_rejected () =
+  let s = Durable_site.create () in
+  let raised =
+    try
+      Durable_site.commit s ~tid:9 ();
+      false
+    with Invalid_argument _ -> true
+  in
+  check Alcotest.bool "unknown commit raises" true raised
+
+let test_crash_before_commit_log_aborts () =
+  (* Paper: "If failures occur at any time before the commit log is
+     stored, then immediately upon recovery the site will abort." *)
+  let s = Durable_site.create () in
+  Durable_site.begin_transaction s ~tid:1;
+  Durable_site.stage s ~tid:1 updates;
+  Durable_site.crash s;
+  let report = Durable_site.recover s in
+  check Alcotest.(list int) "aborted on recovery" [ 1 ] report.aborted;
+  check Alcotest.(list int) "nothing redone" [] report.redone;
+  check Alcotest.(option string) "no effects" None (Durable_site.read s "a");
+  check Alcotest.bool "aborted status" true
+    (Durable_site.status s ~tid:1 = `Aborted)
+
+let test_crash_mid_apply_redoes () =
+  (* Paper: "If failures occur after the commit log is stored but
+     before the updates are finished, all the updates will be applied
+     again when the site recovers." *)
+  let s = Durable_site.create () in
+  Durable_site.begin_transaction s ~tid:1;
+  Durable_site.stage s ~tid:1 updates;
+  Durable_site.commit s ~crash_after:1 ~tid:1 ();
+  (* Torn state: a applied, b not, no End. *)
+  check Alcotest.(option string) "a applied" (Some "1") (Durable_site.read s "a");
+  check Alcotest.(option string) "b missing" None (Durable_site.read s "b");
+  check Alcotest.bool "committed, not ended" true
+    (Durable_site.status s ~tid:1 = `Committed);
+  let before = Kv.applications (Durable_site.database s) in
+  let report = Durable_site.recover s in
+  check Alcotest.(list int) "redone" [ 1 ] report.redone;
+  check Alcotest.(option string) "b now applied" (Some "2")
+    (Durable_site.read s "b");
+  check Alcotest.bool "ended" true (Durable_site.status s ~tid:1 = `Ended);
+  (* Idempotence at work: "a" was re-applied harmlessly. *)
+  check Alcotest.int "both updates replayed" (before + 2)
+    (Kv.applications (Durable_site.database s));
+  (* A second recovery is a no-op. *)
+  let report2 = Durable_site.recover s in
+  check Alcotest.(list int) "nothing further" [] report2.redone
+
+let test_prepared_in_doubt () =
+  let s = Durable_site.create () in
+  Durable_site.begin_transaction s ~tid:1;
+  Durable_site.stage s ~tid:1 updates;
+  Durable_site.prepare s ~tid:1;
+  Durable_site.crash s;
+  let report = Durable_site.recover s in
+  check Alcotest.(list int) "in doubt" [ 1 ] report.in_doubt;
+  check Alcotest.(list int) "not aborted" [] report.aborted;
+  check Alcotest.bool "still prepared" true
+    (Durable_site.status s ~tid:1 = `Prepared)
+
+let test_crash_loses_staged_updates () =
+  let s = Durable_site.create () in
+  Durable_site.begin_transaction s ~tid:1;
+  Durable_site.stage s ~tid:1 updates;
+  Durable_site.crash s;
+  check Alcotest.int "volatile staging gone" 0
+    (List.length (Durable_site.staged s ~tid:1))
+
+let test_multiple_transactions_recovery () =
+  let s = Durable_site.create () in
+  (* t1 commits cleanly; t2 commits and crashes mid-apply; t3 is
+     prepared; t4 only began. *)
+  Durable_site.begin_transaction s ~tid:1;
+  Durable_site.stage s ~tid:1 [ { Wal.key = "one"; value = "1" } ];
+  Durable_site.commit s ~tid:1 ();
+  Durable_site.begin_transaction s ~tid:2;
+  Durable_site.stage s ~tid:2
+    [ { Wal.key = "two"; value = "2" }; { Wal.key = "two'"; value = "2" } ];
+  Durable_site.begin_transaction s ~tid:3;
+  Durable_site.stage s ~tid:3 [ { Wal.key = "three"; value = "3" } ];
+  Durable_site.prepare s ~tid:3;
+  Durable_site.begin_transaction s ~tid:4;
+  Durable_site.commit s ~crash_after:0 ~tid:2 ();
+  let report = Durable_site.recover s in
+  check Alcotest.(list int) "redone t2" [ 2 ] report.redone;
+  check Alcotest.(list int) "in doubt t3" [ 3 ] report.in_doubt;
+  check Alcotest.(list int) "aborted t4" [ 4 ] report.aborted;
+  check Alcotest.(option string) "t1 intact" (Some "1") (Durable_site.read s "one");
+  check Alcotest.(option string) "t2 completed" (Some "2")
+    (Durable_site.read s "two'")
+
+let recovery_always_completes_committed =
+  QCheck.Test.make ~count:200
+    ~name:"recovery completes every committed transaction regardless of crash point"
+    QCheck.(pair (int_range 0 5) (list (pair small_string printable_string)))
+    (fun (crash_after, kvs) ->
+      let kvs = List.filter (fun (k, _) -> k <> "") kvs in
+      let updates = List.map (fun (key, value) -> { Wal.key; value }) kvs in
+      let s = Durable_site.create () in
+      Durable_site.begin_transaction s ~tid:1;
+      Durable_site.stage s ~tid:1 updates;
+      Durable_site.commit s ~crash_after ~tid:1 ();
+      ignore (Durable_site.recover s);
+      (* The database must now reflect every update. *)
+      List.for_all
+        (fun (u : Wal.update) -> Durable_site.read s u.key <> None)
+        updates
+      && Durable_site.status s ~tid:1 = `Ended)
+
+(* ------------------------------------------------------------------ *)
+(* Model-based testing: random op sequences vs. a reference model      *)
+(* ------------------------------------------------------------------ *)
+
+type op = O_begin | O_stage | O_prepare | O_commit | O_abort | O_crash | O_recover
+
+let op_gen =
+  QCheck.Gen.oneofl
+    [ O_begin; O_stage; O_prepare; O_commit; O_abort; O_crash; O_recover ]
+
+(* The reference model tracks, per transaction: its WAL-visible status
+   and whether its updates must be in the database at quiescence. *)
+type model_status = M_none | M_active | M_prepared | M_committed | M_aborted
+
+let durable_model_property =
+  QCheck.Test.make ~count:300
+    ~name:"Durable_site agrees with a reference model on random op sequences"
+    QCheck.(make ~print:(fun l -> string_of_int (List.length l))
+              Gen.(list_size (int_bound 40) (pair op_gen (int_bound 2))))
+    (fun ops ->
+      let store = Durable_site.create () in
+      let statuses = Array.make 3 M_none in
+      let staged = Array.make 3 false in
+      let ok = ref true in
+      let expect_invalid f =
+        match f () with
+        | () -> ok := false (* the store accepted an op the model forbids *)
+        | exception Invalid_argument _ -> ()
+      in
+      List.iter
+        (fun (op, i) ->
+          let tid = i + 1 in
+          match (op, statuses.(i)) with
+          | O_begin, M_none ->
+              Durable_site.begin_transaction store ~tid;
+              statuses.(i) <- M_active
+          | O_begin, _ ->
+              expect_invalid (fun () -> Durable_site.begin_transaction store ~tid)
+          | O_stage, (M_active | M_prepared) ->
+              Durable_site.stage store ~tid
+                [ { Wal.key = Printf.sprintf "k%d" tid; value = string_of_int tid } ];
+              staged.(i) <- true
+          | O_stage, _ ->
+              expect_invalid (fun () -> Durable_site.stage store ~tid [])
+          | O_prepare, M_active ->
+              Durable_site.prepare store ~tid;
+              statuses.(i) <- M_prepared
+          | O_prepare, _ ->
+              expect_invalid (fun () -> Durable_site.prepare store ~tid)
+          | O_commit, (M_active | M_prepared) ->
+              Durable_site.commit store ~tid ();
+              statuses.(i) <- M_committed
+          | O_commit, _ ->
+              expect_invalid (fun () -> Durable_site.commit store ~tid ())
+          | O_abort, (M_active | M_prepared) ->
+              Durable_site.abort store ~tid;
+              statuses.(i) <- M_aborted;
+              staged.(i) <- false
+          | O_abort, _ ->
+              expect_invalid (fun () -> Durable_site.abort store ~tid)
+          | O_crash, _ ->
+              Durable_site.crash store;
+              Array.iteri (fun j _ -> staged.(j) <- false) staged
+          | O_recover, _ ->
+              let report = Durable_site.recover store in
+              (* recovery aborts actives, leaves prepared in doubt *)
+              List.iter
+                (fun tid -> statuses.(tid - 1) <- M_aborted)
+                report.Durable_site.aborted;
+              Array.iteri (fun j _ -> staged.(j) <- false) staged)
+        ops;
+      (* Final agreement: WAL status matches the model; committed
+         transactions with staged updates reached the database. *)
+      Array.iteri
+        (fun i model ->
+          let tid = i + 1 in
+          let actual = Durable_site.status store ~tid in
+          let agrees =
+            match (model, actual) with
+            | M_none, `Unknown
+            | M_active, `Active
+            | M_prepared, `Prepared
+            | M_aborted, `Aborted
+            | M_committed, (`Committed | `Ended) ->
+                true
+            | _, _ -> false
+          in
+          if not agrees then ok := false;
+          if model = M_committed && staged.(i) then
+            if Durable_site.read store (Printf.sprintf "k%d" tid) = None then
+              ok := false)
+        statuses;
+      !ok)
+
+let () =
+  Alcotest.run "commit_storage"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip basics" `Quick test_wal_roundtrip_basics;
+          Alcotest.test_case "escaping" `Quick test_wal_escaping;
+          Alcotest.test_case "decode errors" `Quick test_wal_decode_errors;
+          Alcotest.test_case "tid_of" `Quick test_wal_tid_of;
+          qtest wal_roundtrip_property;
+        ] );
+      ( "kv",
+        [
+          Alcotest.test_case "basics" `Quick test_kv_basics;
+          Alcotest.test_case "snapshot/restore" `Quick test_kv_snapshot_restore;
+          qtest kv_set_idempotent;
+        ] );
+      ( "durable_site",
+        [
+          Alcotest.test_case "happy path" `Quick test_happy_path_commit;
+          Alcotest.test_case "abort discards" `Quick test_abort_discards;
+          Alcotest.test_case "double begin rejected" `Quick
+            test_double_begin_rejected;
+          Alcotest.test_case "unknown commit rejected" `Quick
+            test_commit_unknown_rejected;
+          Alcotest.test_case "crash before commit log aborts" `Quick
+            test_crash_before_commit_log_aborts;
+          Alcotest.test_case "crash mid-apply redoes" `Quick
+            test_crash_mid_apply_redoes;
+          Alcotest.test_case "prepared is in doubt" `Quick test_prepared_in_doubt;
+          Alcotest.test_case "crash loses staged updates" `Quick
+            test_crash_loses_staged_updates;
+          Alcotest.test_case "multi-transaction recovery" `Quick
+            test_multiple_transactions_recovery;
+          qtest recovery_always_completes_committed;
+          qtest durable_model_property;
+        ] );
+    ]
