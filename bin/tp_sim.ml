@@ -1,11 +1,16 @@
 (* tp_sim — command-line driver for the termination-protocol reproduction.
 
-   Subcommands:
-     run      one scenario, full trace
-     sweep    a protocol over the default scenario grid
+   Subcommands (alphabetical):
      analyze  static FSA analysis (concurrency sets, lemma checks, rules)
      cases    Section 6 case classification for a transient scenario
-     list     available protocols *)
+     check    self-check of the paper's key claims (CI gate)
+     cluster  long-running multi-transaction cluster under a partition timeline
+     db       a database workload through a commit protocol
+     diagram  ASCII message-sequence diagram of one scenario
+     lemma3   exhaustive Lemma 3 augmentation search
+     list     available protocols and subcommands
+     run      one scenario, full trace
+     sweep    a protocol over the default scenario grid *)
 
 let protocols : (string * Site.packed) list =
   [
@@ -467,15 +472,204 @@ let lemma3_cmd =
   in
   Cmd.v (Cmd.info "lemma3" ~doc) Term.(const run $ const ())
 
+let cluster_cmd =
+  let module Cluster = Commit_cluster in
+  let doc =
+    "Keep a cluster alive under load while a partition timeline plays out."
+  in
+  (* Time spans accept "200T" (units of T) or plain ticks. *)
+  let span =
+    let parse s =
+      let len = String.length s in
+      let bad () = Error (`Msg (Printf.sprintf "bad time span %S" s)) in
+      if len > 1 && (s.[len - 1] = 'T' || s.[len - 1] = 't') then
+        match int_of_string_opt (String.sub s 0 (len - 1)) with
+        | Some v -> Ok (`T v)
+        | None -> bad ()
+      else
+        match int_of_string_opt s with Some v -> Ok (`Ticks v) | None -> bad ()
+    in
+    let print fmt = function
+      | `T v -> Format.fprintf fmt "%dT" v
+      | `Ticks v -> Format.fprintf fmt "%d" v
+    in
+    Arg.conv (parse, print)
+  in
+  let cluster_protocol_arg =
+    Arg.(
+      value
+      & opt (enum protocols) (module Termination.Transient : Site.S)
+      & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+          ~doc:"Protocol to run (default: termination-transient).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt span (`T 200)
+      & info [ "duration" ] ~docv:"SPAN" ~doc:"Arrival window (e.g. 200T).")
+  in
+  let drain_arg =
+    Arg.(
+      value & opt span (`T 30)
+      & info [ "drain" ] ~docv:"SPAN"
+          ~doc:"Extra run time for in-flight transactions after arrivals stop.")
+  in
+  let load_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "load" ] ~docv:"TXNS" ~doc:"Offered transactions per 100T.")
+  in
+  let cut_arg =
+    Arg.(
+      value & opt (list span) []
+      & info [ "cut" ] ~docv:"SPANS"
+          ~doc:"Partition onset instants (e.g. 40T,300T).")
+  in
+  let cluster_heal_arg =
+    Arg.(
+      value & opt (list span) []
+      & info [ "heal" ] ~docv:"SPANS"
+          ~doc:
+            "Heal instants, paired with $(b,--cut) in order; a missing last \
+             heal leaves the final cut permanent.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "window" ] ~docv:"N" ~doc:"Max concurrent transactions.")
+  in
+  let queue_limit_arg =
+    Arg.(
+      value & opt (some int) (Some 64)
+      & info [ "queue-limit" ] ~docv:"N" ~doc:"Admission queue bound.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("fixed", Cluster.Scheduler.Fixed_master);
+               ("round-robin", Cluster.Scheduler.Round_robin);
+               ("partition-aware", Cluster.Scheduler.Partition_aware);
+             ])
+          Cluster.Scheduler.Partition_aware
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Master placement: fixed, round-robin, partition-aware.")
+  in
+  let pause_arg =
+    Arg.(
+      value & flag
+      & info [ "pause-during-cut" ]
+          ~doc:"Defer all admissions while a partition is active.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let run protocol n t g2 cuts heals seed delay pessimistic duration drain load
+      window queue_limit policy pause json quiet =
+    let t_unit = Vtime.of_int t in
+    let resolve = function
+      | `T v -> Vtime.of_int (v * t)
+      | `Ticks v -> Vtime.of_int v
+    in
+    if List.length heals > List.length cuts then begin
+      Format.eprintf "more --heal instants than --cut instants@.";
+      exit 2
+    end;
+    let g2 = match g2 with [] -> [ n ] | sites -> sites in
+    let timeline =
+      try
+        match cuts with
+        | [] -> Partition.none
+        | cuts ->
+            let heals =
+              List.map (fun h -> Some (resolve h)) heals
+              @ List.init
+                  (List.length cuts - List.length heals)
+                  (fun _ -> None)
+            in
+            Partition.sequence
+              (List.map2
+                 (fun cut heal ->
+                   Partition.make ?heals_at:heal
+                     ~group2:(Site_id.set_of_ints g2) ~starts_at:(resolve cut)
+                     ~n ())
+                 cuts heals)
+      with Invalid_argument msg ->
+        Format.eprintf "invalid partition timeline: %s@." msg;
+        exit 2
+    in
+    let delay =
+      match delay with
+      | `Minimal -> Delay.minimal
+      | `Full -> Delay.full ~t_max:t_unit
+      | `Uniform -> Delay.uniform ~t_max:t_unit
+    in
+    let config =
+      {
+        (Cluster.Runtime.default_config ~protocol ~n ()) with
+        Cluster.Runtime.t_unit;
+        mode = (if pessimistic then Network.Pessimistic else Network.Optimistic);
+        timeline;
+        delay;
+        seed;
+        duration = resolve duration;
+        drain = resolve drain;
+        load;
+        window;
+        queue_limit;
+        policy;
+        pause_during_cut = pause;
+      }
+    in
+    let report =
+      try Cluster.Runtime.run config
+      with Invalid_argument msg ->
+        Format.eprintf "invalid cluster config: %s@." msg;
+        exit 2
+    in
+    if json then Format.printf "%a@." Export.pp (Cluster.Runtime.to_json report)
+    else begin
+      Format.printf "%a" Cluster.Runtime.pp_report report;
+      if not quiet then Format.printf "%a" Cluster.Runtime.pp_timeline report
+    end;
+    if Cluster.Runtime.atomic report && report.Cluster.Runtime.blocked = 0 then
+      0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "cluster" ~doc)
+    Term.(
+      const run $ cluster_protocol_arg $ n_arg $ t_arg $ g2_arg $ cut_arg
+      $ cluster_heal_arg $ seed_arg $ delay_arg $ pessimistic_arg
+      $ duration_arg $ drain_arg $ load_arg $ window_arg $ queue_limit_arg
+      $ policy_arg $ pause_arg $ json_arg $ quiet_arg)
+
 let list_cmd =
-  let doc = "List available protocols." in
+  let doc = "List available protocols and subcommands." in
   let run () =
+    Format.printf "protocols:@.";
     List.iter
       (fun (name, (module P : Site.S)) ->
-        Format.printf "%-22s %s@." name
+        Format.printf "  %-22s %s@." name
           (if P.blocking_by_design then "(blocks under partition)"
            else "(nonblocking)"))
       protocols;
+    Format.printf "subcommands:@.";
+    List.iter
+      (fun (name, doc) -> Format.printf "  %-10s %s@." name doc)
+      [
+        ("analyze", "static FSA analysis (concurrency sets, lemmas, rules)");
+        ("cases", "Section 6 case classification for a transient scenario");
+        ("check", "self-check of the paper's key claims (CI gate)");
+        ("cluster", "long-running cluster under a partition timeline");
+        ("db", "a database workload through a commit protocol");
+        ("diagram", "ASCII message-sequence diagram of one scenario");
+        ("lemma3", "exhaustive Lemma 3 augmentation search");
+        ("list", "this listing");
+        ("run", "one scenario, full trace");
+        ("sweep", "a protocol over the default scenario grid");
+      ];
     0
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
@@ -485,13 +679,14 @@ let () =
   let info = Cmd.info "tp_sim" ~doc in
   exit (Cmd.eval' (Cmd.group info
        [
-         run_cmd;
-         sweep_cmd;
          analyze_cmd;
          cases_cmd;
-         diagram_cmd;
-         db_cmd;
          check_cmd;
+         cluster_cmd;
+         db_cmd;
+         diagram_cmd;
          lemma3_cmd;
          list_cmd;
+         run_cmd;
+         sweep_cmd;
        ]))

@@ -1,0 +1,73 @@
+(* The cluster runtime: cluster_life's batch experiment, upgraded to
+   the long-running lib/cluster machinery.
+
+     dune exec examples/cluster_runtime.exe
+
+   Where cluster_life replays a fixed list of 60 transfers through the
+   batch transaction manager, this keeps the cluster alive for 300T of
+   open-loop load (40 transfers per 100T), lets the scheduler place a
+   coordinator per transaction (partition-aware: never in G2 while the
+   cut is up), and drives two cuts from one Partition.sequence timeline
+   -- the second one violating nobody, because the first's transactions
+   all terminated.  The metrics pipeline renders the bucket-by-bucket
+   life of the cluster, and the auditor confirms the money. *)
+
+module Cluster = Commit_cluster
+
+let t mult = Vtime.of_int (mult * 1000)
+
+let timeline =
+  Partition.sequence
+    [
+      Partition.make
+        ~group2:(Site_id.set_of_ints [ 3 ])
+        ~starts_at:(t 60) ~heals_at:(t 110) ~n:3 ();
+      Partition.make
+        ~group2:(Site_id.set_of_ints [ 2; 3 ])
+        ~starts_at:(t 180) ~heals_at:(t 220) ~n:3 ();
+    ]
+
+let run protocol =
+  Cluster.Runtime.run
+    {
+      (Cluster.Runtime.default_config ~protocol ()) with
+      Cluster.Runtime.timeline;
+      duration = t 300;
+      drain = t 40;
+      load = 40;
+    }
+
+let () =
+  Format.printf
+    "300T of open-loop load (40 transfers/100T, window 8) over three sites;@.";
+  Format.printf
+    "site3 cut off 60T-110T, then sites 2+3 cut off 180T-220T.@.@.";
+  let report = run (module Termination.Transient : Site.S) in
+  Format.printf "%a@." Cluster.Runtime.pp_timeline report;
+  Format.printf "%a@." Cluster.Runtime.pp_report report;
+  Format.printf "and the same timeline under the blocking baselines:@.";
+  List.iter
+    (fun (name, protocol) ->
+      let r = run protocol in
+      Format.printf
+        "  %-22s committed=%-4d aborted=%-4d blocked=%-3d starved=%-3d \
+         rejected=%-3d@."
+        name r.Cluster.Runtime.committed r.Cluster.Runtime.aborted
+        r.Cluster.Runtime.blocked r.Cluster.Runtime.starved
+        r.Cluster.Runtime.rejected)
+    [
+      ("2pc", (module Two_phase : Site.S));
+      ("3pc", (module Three_phase));
+      ("quorum", (module Quorum));
+    ];
+  Format.printf
+    "@.each cut strands whatever 2pc/3pc had in flight: the stuck transactions@.";
+  Format.printf
+    "hold their admission-window slots forever, so the queue backs up and the@.";
+  Format.printf
+    "cluster never recovers even after the heal.  The termination protocol@.";
+  Format.printf
+    "settles every stranded transaction within its bounded windows, so the@.";
+  Format.printf
+    "second cut starts from a clean slate -- the paper's assumption 2 holds@.";
+  Format.printf "by construction here.@."

@@ -1,0 +1,115 @@
+module Stats = Commit_checker.Stats
+module Export = Commit_checker.Export
+
+type t = {
+  t_unit : Vtime.t;
+  bucket : Vtime.t;
+  counters : (string, int ref) Hashtbl.t;
+  serieses : (string, (int, int ref) Hashtbl.t) Hashtbl.t;
+  histograms : (string, Stats.Acc.acc ref) Hashtbl.t;
+}
+
+let create ?bucket ~t_unit () =
+  let bucket =
+    match bucket with
+    | Some b ->
+        if Vtime.to_int b <= 0 then
+          invalid_arg "Metrics.create: bucket must be positive";
+        b
+    | None -> Vtime.of_int (10 * Vtime.to_int t_unit)
+  in
+  {
+    t_unit;
+    bucket;
+    counters = Hashtbl.create 32;
+    serieses = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+  }
+
+let t_unit t = t.t_unit
+
+let bucket_ticks t = t.bucket
+
+let find_or tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      Hashtbl.add tbl name v;
+      v
+
+let add t name delta =
+  if delta < 0 then invalid_arg "Metrics.add: counters are monotonic";
+  let cell = find_or t.counters name (fun () -> ref 0) in
+  cell := !cell + delta
+
+let incr t name = add t name 1
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+let counters t = List.map (fun k -> (k, counter t k)) (sorted_keys t.counters)
+
+let bucket_of t at = Vtime.to_int at / Vtime.to_int t.bucket
+
+let mark t ~at name =
+  let buckets = find_or t.serieses name (fun () -> Hashtbl.create 32) in
+  let cell = find_or buckets (bucket_of t at) (fun () -> ref 0) in
+  Stdlib.incr cell
+
+let series t name =
+  match Hashtbl.find_opt t.serieses name with
+  | None -> []
+  | Some buckets ->
+      Hashtbl.fold (fun b c acc -> (b, !c) :: acc) buckets []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let series_names t = sorted_keys t.serieses
+
+let observe t name sample =
+  let cell = find_or t.histograms name (fun () -> ref Stats.Acc.empty) in
+  cell := Stats.Acc.add !cell sample
+
+let merge_histogram t name acc =
+  let cell = find_or t.histograms name (fun () -> ref Stats.Acc.empty) in
+  cell := Stats.Acc.merge !cell acc
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | None -> None
+  | Some acc -> Stats.Acc.to_stats !acc
+
+let to_json t =
+  let counters_json =
+    Export.Obj (List.map (fun (k, v) -> (k, Export.Int v)) (counters t))
+  in
+  let series_json =
+    Export.Obj
+      (List.map
+         (fun name ->
+           ( name,
+             Export.List
+               (List.map
+                  (fun (b, c) -> Export.List [ Export.Int b; Export.Int c ])
+                  (series t name)) ))
+         (series_names t))
+  in
+  let histograms_json =
+    Export.Obj
+      (List.filter_map
+         (fun name ->
+           Option.map
+             (fun s -> (name, Export.of_stats s))
+             (histogram t name))
+         (sorted_keys t.histograms))
+  in
+  Export.Obj
+    [
+      ("bucket_ticks", Export.Int (Vtime.to_int t.bucket));
+      ("counters", counters_json);
+      ("series", series_json);
+      ("histograms", histograms_json);
+    ]

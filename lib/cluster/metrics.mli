@@ -1,0 +1,62 @@
+(** The cluster's metrics pipeline.
+
+    Three instrument kinds, all bounded-memory and all drained to
+    deterministic JSON at the end of a run (or at any instant — reading
+    never perturbs the pipeline):
+
+    - {e counters}: monotonic event counts ("committed", "probes", FACT
+      1/2 decision tags, ...);
+    - {e time series}: event counts bucketed by virtual time — the
+      throughput timelines of the cluster example and bench;
+    - {e histograms}: latency distributions held as
+      {!Commit_checker.Stats.Acc} streaming accumulators, so a
+      million-transaction run retains buckets, not samples.
+
+    Instruments are created on first use; export orders everything by
+    name, so the JSON of two identical runs is byte-identical. *)
+
+type t
+
+val create : ?bucket:Vtime.t -> t_unit:Vtime.t -> unit -> t
+(** [bucket] is the time-series bucket width; default [10 * t_unit]
+    (the 10T columns of the cluster-life timeline). *)
+
+val t_unit : t -> Vtime.t
+
+val bucket_ticks : t -> Vtime.t
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+(** @raise Invalid_argument on a negative increment (counters are
+    monotonic). *)
+
+val counter : t -> string -> int
+(** 0 for a never-incremented counter. *)
+
+val counters : t -> (string * int) list
+(** Name-sorted. *)
+
+val mark : t -> at:Vtime.t -> string -> unit
+(** Count one event into the series' bucket [at / bucket]. *)
+
+val bucket_of : t -> Vtime.t -> int
+
+val series : t -> string -> (int * int) list
+(** [(bucket index, count)] pairs, bucket-sorted; empty buckets are
+    omitted. *)
+
+val series_names : t -> string list
+
+val observe : t -> string -> int -> unit
+(** Add one sample to a histogram. *)
+
+val histogram : t -> string -> Commit_checker.Stats.t option
+
+val merge_histogram : t -> string -> Commit_checker.Stats.Acc.acc -> unit
+(** Fold a pre-accumulated shard into a histogram (the
+    merge-vs-batch-equivalent path). *)
+
+val to_json : t -> Commit_checker.Export.json
+(** [{"counters": {...}, "series": {...}, "histograms": {...}}], every
+    object name-sorted, series as [[bucket, count]] pairs. *)

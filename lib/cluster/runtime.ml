@@ -1,0 +1,572 @@
+module Stats = Commit_checker.Stats
+module Export = Commit_checker.Export
+
+type config = {
+  protocol : Site.packed;
+  n : int;
+  t_unit : Vtime.t;
+  mode : Network.mode;
+  timeline : Partition.t;
+  delay : Delay.t;
+  seed : int64;
+  duration : Vtime.t;
+  drain : Vtime.t;
+  load : int;
+  window : int;
+  queue_limit : int option;
+  policy : Scheduler.policy;
+  pause_during_cut : bool;
+  balance : int;
+  amount : int;
+  bucket : Vtime.t;
+  trace_enabled : bool;
+}
+
+let default_config ?(protocol = (module Termination.Transient : Site.S))
+    ?(n = 3) () =
+  let t_unit = Vtime.of_int 1000 in
+  let t mult = Vtime.of_int (mult * Vtime.to_int t_unit) in
+  {
+    protocol;
+    n;
+    t_unit;
+    mode = Network.Optimistic;
+    timeline = Partition.none;
+    delay = Delay.uniform ~t_max:t_unit;
+    seed = 1L;
+    duration = t 200;
+    drain = t 30;
+    load = 50;
+    window = 8;
+    queue_limit = Some 64;
+    policy = Scheduler.Partition_aware;
+    pause_during_cut = false;
+    balance = 1000;
+    amount = 25;
+    bucket = t 10;
+    trace_enabled = false;
+  }
+
+type report = {
+  config : config;
+  horizon : Vtime.t;
+  offered : int;
+  admitted : int;
+  rejected : int;
+  starved : int;
+  committed : int;
+  aborted : int;
+  torn : int;
+  blocked : int;
+  settled : int;
+  termination_invocations : int;
+  probes : int;
+  latency : Stats.t option;
+  queue_wait : Stats.t option;
+  throughput_per_100t : float;
+  disk_total : int;
+  auditor : Auditor.t;
+  metrics : Metrics.t;
+  net_stats : Network.stats;
+  trace : Trace.t;
+}
+
+(* Protocol messages multiplexed by transaction id, as in Tm. *)
+type wire = { wtid : int; body : Types.msg }
+
+let pp_wire fmt w = Format.fprintf fmt "t%d:%a" w.wtid Types.pp_msg w.body
+
+(* Decision reasons that only the termination machinery (or a timeout /
+   UD transition standing in for it) can produce; the failure-free flow
+   decides through fact1-case1 / fact2-case1 / plain command receipt. *)
+let termination_reason =
+  let tagged =
+    List.filter (fun r -> r <> "fact1-case1") Termination.fact1_reasons
+    @ List.filter (fun r -> r <> "fact2-case1") Termination.fact2_reasons
+    @ [
+        "transient-5t-commit";
+        "collect-abort";
+        "w2-expired";
+        "ud-yes";
+        "ud-xact";
+        "w1-timeout";
+      ]
+  in
+  fun r -> List.mem r tagged
+
+module Run (P : Site.S) = struct
+  type txn_rt = {
+    spec : Tm.txn_spec;
+    master : Site_id.t;
+    admitted_at : Vtime.t;
+    mutable instances : P.t array;
+    decisions : Types.decision option array;
+    mutable terminated : bool;
+    mutable settled : bool;
+  }
+
+  type state = {
+    config : config;
+    engine : Engine.t;
+    net : wire Network.t;
+    stores : Durable_site.t array;
+    scheduler : Tm.txn_spec Scheduler.t;
+    txns : (int, txn_rt) Hashtbl.t;
+    metrics : Metrics.t;
+    auditor : Auditor.t;
+    horizon : Vtime.t;
+  }
+
+  let store state site = state.stores.(Site_id.to_int site - 1)
+
+  let now state = Engine.now state.engine
+
+  let trace state fmt =
+    Trace.addf (Engine.trace state.engine) ~at:(now state) ~topic:"cluster" fmt
+
+  (* Per-transaction master relabeling: the protocol stack hard-wires
+     "site 1 masters", so a transaction coordinated by physical site m
+     sees logical ids rotated to put m at 1.  The bijection keeps
+     self-sends impossible and the wire purely physical. *)
+  let logical_of ~n ~master phys =
+    Site_id.of_int (((Site_id.to_int phys - Site_id.to_int master + n) mod n) + 1)
+
+  let physical_of ~n ~master logical =
+    Site_id.of_int
+      (((Site_id.to_int logical - 1 + (Site_id.to_int master - 1)) mod n) + 1)
+
+  let rec settle state rt =
+    rt.settled <- true;
+    let at = now state in
+    let m = state.metrics in
+    let all d = Array.for_all (( = ) (Some d)) rt.decisions in
+    (if all Types.Commit then begin
+       Metrics.incr m "txn.committed";
+       Metrics.mark m ~at "commits";
+       Metrics.observe m "latency.commit" (Vtime.sub at rt.admitted_at)
+     end
+     else if all Types.Abort then begin
+       Metrics.incr m "txn.aborted";
+       Metrics.mark m ~at "aborts"
+     end
+     else begin
+       Metrics.incr m "txn.torn";
+       trace state "t%d TORN" rt.spec.tid
+     end);
+    Metrics.incr m "txn.settled";
+    Metrics.observe m "latency.settle" (Vtime.sub at rt.admitted_at);
+    if rt.terminated then begin
+      Metrics.incr m "txn.termination";
+      Metrics.mark m ~at "terminations"
+    end;
+    Scheduler.complete state.scheduler;
+    pump state
+
+  and record_decision state rt phys_index decision =
+    if rt.decisions.(phys_index) = None then begin
+      rt.decisions.(phys_index) <- Some decision;
+      let site = Site_id.of_int (phys_index + 1) in
+      let durable = store state site in
+      (match decision with
+      | Types.Commit -> Durable_site.commit durable ~tid:rt.spec.tid ()
+      | Types.Abort -> Durable_site.abort durable ~tid:rt.spec.tid);
+      Auditor.record state.auditor ~tid:rt.spec.tid ~site decision;
+      if (not rt.settled) && Array.for_all (( <> ) None) rt.decisions then
+        settle state rt
+    end
+
+  and start state spec master =
+    let n = state.config.n in
+    let at = now state in
+    Metrics.mark state.metrics ~at "admissions";
+    Metrics.observe state.metrics "wait.queue" (Vtime.sub at spec.Tm.start_at);
+    Auditor.begin_txn state.auditor ~tid:spec.Tm.tid
+      ~contributions:(Workload.transfer_contributions spec);
+    let rt =
+      {
+        spec;
+        master;
+        admitted_at = at;
+        instances = [||];
+        decisions = Array.make n None;
+        terminated = false;
+        settled = false;
+      }
+    in
+    Hashtbl.add state.txns spec.Tm.tid rt;
+    let writes_of site =
+      match List.assoc_opt site spec.Tm.writes with
+      | Some updates -> updates
+      | None -> []
+    in
+    let instances =
+      Array.init n (fun i ->
+          let phys = Site_id.of_int (i + 1) in
+          let durable = store state phys in
+          Durable_site.begin_transaction durable ~tid:spec.Tm.tid;
+          Durable_site.stage durable ~tid:spec.Tm.tid (writes_of phys);
+          let self = logical_of ~n ~master phys in
+          let ctx =
+            Ctx.make ~engine:state.engine ~n ~t_unit:state.config.t_unit ~self
+              ~trans_id:spec.Tm.tid
+              ~send:(fun dst body ->
+                Network.send state.net ~src:phys
+                  ~dst:(physical_of ~n ~master dst)
+                  { wtid = spec.Tm.tid; body })
+              ~on_decide:(fun decision -> record_decision state rt i decision)
+              ~on_reason:(fun r ->
+                Metrics.incr state.metrics ("reason." ^ r);
+                if termination_reason r then rt.terminated <- true)
+              ()
+          in
+          let role =
+            if Site_id.is_master self then Site.Master_role
+            else Site.Slave_role { vote_yes = true }
+          in
+          P.create ctx role)
+    in
+    rt.instances <- instances;
+    (* Same guard as Tm: a site cut off before the transaction reaches
+       it sits in its initial state forever; abort it locally well past
+       any legitimate quiet period. *)
+    Array.iteri
+      (fun i instance ->
+        ignore
+          (Engine.schedule state.engine ~rank:Engine.Timer
+             ~delay:(Vtime.of_int (12 * Vtime.to_int state.config.t_unit))
+             ~label:"q-watchdog"
+             (fun () ->
+               let initial =
+                 match P.state_name instance with
+                 | "q" | "q1" -> true
+                 | _ -> false
+               in
+               if rt.decisions.(i) = None && initial then begin
+                 trace state "t%d: site%d never reached; local abort"
+                   rt.spec.tid (i + 1);
+                 record_decision state rt i Types.Abort
+               end)))
+      instances;
+    P.begin_transaction instances.(Site_id.to_int master - 1)
+
+  and pump state =
+    let rec drain () =
+      match
+        Scheduler.next state.scheduler ~timeline:state.config.timeline
+          ~now:(now state)
+      with
+      | Some (spec, master) ->
+          start state spec master;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+
+  let submit state spec =
+    let at = now state in
+    Metrics.incr state.metrics "txn.offered";
+    Metrics.mark state.metrics ~at "arrivals";
+    match
+      Scheduler.submit state.scheduler ~timeline:state.config.timeline ~now:at
+        spec
+    with
+    | `Admit master -> start state spec master
+    | `Enqueued -> ()
+    | `Rejected ->
+        Metrics.incr state.metrics "txn.rejected";
+        Metrics.mark state.metrics ~at "rejections"
+
+  let run config =
+    if config.load < 1 then invalid_arg "Runtime.run: load must be >= 1";
+    if config.window < 1 then invalid_arg "Runtime.run: window must be >= 1";
+    if config.amount <= 0 || config.amount >= config.balance then
+      invalid_arg "Runtime.run: need 0 < amount < balance";
+    if config.n < 2 then invalid_arg "Runtime.run: need at least two sites";
+    let trace_store = Trace.create ~enabled:config.trace_enabled () in
+    let engine = Engine.create ~trace:trace_store () in
+    let net =
+      Network.create ~engine ~n:config.n ~t_max:config.t_unit ~mode:config.mode
+        ~partition:config.timeline ~delay:config.delay ~seed:config.seed
+        ~pp_payload:pp_wire ()
+    in
+    let metrics = Metrics.create ~bucket:config.bucket ~t_unit:config.t_unit () in
+    let horizon = Vtime.add config.duration config.drain in
+    let state =
+      {
+        config;
+        engine;
+        net;
+        stores = Array.init config.n (fun _ -> Durable_site.create ());
+        scheduler =
+          Scheduler.create ~policy:config.policy
+            ?queue_limit:config.queue_limit
+            ~pause_during_cut:config.pause_during_cut ~window:config.window
+            ~n:config.n ();
+        txns = Hashtbl.create 256;
+        metrics;
+        auditor = Auditor.create ~n:config.n ();
+        horizon;
+      }
+    in
+    (* Count termination-protocol probes directly off the wire. *)
+    Network.set_tap net (fun event ->
+        match event with
+        | Network.Sent { env; _ } -> (
+            match env.payload.body with
+            | Types.Probe _ -> Metrics.incr metrics "net.probes"
+            | _ -> ())
+        | Network.Delivered _ | Network.Bounced _ | Network.Lost _ -> ());
+    Network.set_handler net (fun phys delivery ->
+        let wtid =
+          match delivery with
+          | Network.Msg e | Network.Undeliverable e -> e.payload.wtid
+        in
+        match Hashtbl.find_opt state.txns wtid with
+        | None -> ()
+        | Some rt ->
+            let n = config.n in
+            let relabel (e : wire Network.envelope) =
+              {
+                Network.src = logical_of ~n ~master:rt.master e.src;
+                dst = logical_of ~n ~master:rt.master e.dst;
+                payload = e.payload.body;
+                sent_at = e.sent_at;
+              }
+            in
+            let unwrapped =
+              match delivery with
+              | Network.Msg e -> Network.Msg (relabel e)
+              | Network.Undeliverable e -> Network.Undeliverable (relabel e)
+            in
+            let instance = rt.instances.(Site_id.to_int phys - 1) in
+            P.on_delivery instance unwrapped;
+            (* Reaching the prepared state must survive a restart. *)
+            (match P.state_name instance with
+            | "p" | "p1" ->
+                let durable = store state phys in
+                if Durable_site.status durable ~tid:wtid = `Active then
+                  Durable_site.prepare durable ~tid:wtid
+            | _ -> ()));
+    (* The open-loop arrival process: [load] transfers per 100T, evenly
+       spaced, sites drawn from a seed-derived stream. *)
+    let wl_rng = Rng.create (Int64.logxor config.seed 0x9E3779B97F4A7C15L) in
+    let spacing_num = 100 * Vtime.to_int config.t_unit in
+    let offered = ref 0 in
+    let rec schedule_arrival i =
+      let at = Vtime.of_int (i * spacing_num / config.load) in
+      if Vtime.( < ) at config.duration then begin
+        incr offered;
+        ignore
+          (Engine.schedule_at engine ~at ~label:"arrival" (fun () ->
+               let tid = i + 1 in
+               let debtor =
+                 Site_id.of_int (Rng.int_in wl_rng ~lo:1 ~hi:config.n)
+               in
+               let creditor =
+                 let rec pick () =
+                   let s = Site_id.of_int (Rng.int_in wl_rng ~lo:1 ~hi:config.n) in
+                   if Site_id.equal s debtor then pick () else s
+                 in
+                 pick ()
+               in
+               let spec =
+                 Workload.transfer ~tid ~start_at:(now state) ~debtor ~creditor
+                   ~balance:config.balance ~amount:config.amount
+               in
+               submit state spec));
+        schedule_arrival (i + 1)
+      end
+    in
+    schedule_arrival 0;
+    (* A once-per-T pump so queued arrivals drain on window slots and on
+       heals even when no completion fires. *)
+    let rec pump_loop () =
+      pump state;
+      let next = Vtime.add (now state) config.t_unit in
+      if Vtime.( <= ) next horizon then
+        ignore
+          (Engine.schedule_at engine ~at:next ~label:"pump" (fun () ->
+               pump_loop ()))
+    in
+    ignore
+      (Engine.schedule_at engine ~at:config.t_unit ~label:"pump" (fun () ->
+           pump_loop ()));
+    Engine.run ~until:horizon engine;
+    (* Shutdown accounting. *)
+    let blocked = ref 0 in
+    Hashtbl.iter
+      (fun _ rt -> if not rt.settled then incr blocked)
+      state.txns;
+    Metrics.add metrics "txn.blocked" !blocked;
+    let starved = Scheduler.queued state.scheduler in
+    Metrics.add metrics "txn.starved" starved;
+    let disk_total =
+      Array.fold_left
+        (fun acc durable ->
+          List.fold_left
+            (fun acc (key, value) ->
+              if String.length key >= 5 && String.sub key 0 5 = "acct:" then
+                acc + int_of_string value
+              else acc)
+            acc
+            (Kv.snapshot (Durable_site.database durable)))
+        0 state.stores
+    in
+    let committed = Metrics.counter metrics "txn.committed" in
+    {
+      config;
+      horizon;
+      offered = !offered;
+      admitted = Scheduler.admitted state.scheduler;
+      rejected = Scheduler.rejected state.scheduler;
+      starved;
+      committed;
+      aborted = Metrics.counter metrics "txn.aborted";
+      torn = Metrics.counter metrics "txn.torn";
+      blocked = !blocked;
+      settled = Metrics.counter metrics "txn.settled";
+      termination_invocations = Metrics.counter metrics "txn.termination";
+      probes = Metrics.counter metrics "net.probes";
+      latency = Metrics.histogram metrics "latency.commit";
+      queue_wait = Metrics.histogram metrics "wait.queue";
+      throughput_per_100t =
+        (if Vtime.to_int config.duration = 0 then 0.
+         else
+           float_of_int committed
+           *. float_of_int spacing_num
+           /. float_of_int (Vtime.to_int config.duration));
+      disk_total;
+      auditor = state.auditor;
+      metrics;
+      net_stats = Network.stats net;
+      trace = trace_store;
+    }
+end
+
+let run config =
+  let (module P : Site.S) = config.protocol in
+  let module R = Run (P) in
+  R.run config
+
+let atomic report =
+  Auditor.agreement_violations report.auditor = 0
+  && Auditor.conservation_breaches report.auditor = 0
+  && report.disk_total = Auditor.applied_total report.auditor
+
+let to_json report =
+  let (module P : Site.S) = report.config.protocol in
+  let stats_json = function
+    | Some s -> Export.of_stats s
+    | None -> Export.Null
+  in
+  Export.Obj
+    [
+      ( "config",
+        Export.Obj
+          [
+            ("protocol", Export.String P.name);
+            ("n", Export.Int report.config.n);
+            ("t_unit", Export.Int (Vtime.to_int report.config.t_unit));
+            ("seed", Export.String (Int64.to_string report.config.seed));
+            ("duration", Export.Int (Vtime.to_int report.config.duration));
+            ("drain", Export.Int (Vtime.to_int report.config.drain));
+            ("load_per_100t", Export.Int report.config.load);
+            ("window", Export.Int report.config.window);
+            ( "queue_limit",
+              match report.config.queue_limit with
+              | Some l -> Export.Int l
+              | None -> Export.Null );
+            ( "policy",
+              Export.String (Scheduler.policy_name report.config.policy) );
+            ("pause_during_cut", Export.Bool report.config.pause_during_cut);
+            ( "timeline",
+              Export.String
+                (Format.asprintf "%a" Partition.pp report.config.timeline) );
+          ] );
+      ( "totals",
+        Export.Obj
+          [
+            ("offered", Export.Int report.offered);
+            ("admitted", Export.Int report.admitted);
+            ("rejected", Export.Int report.rejected);
+            ("starved", Export.Int report.starved);
+            ("settled", Export.Int report.settled);
+            ("committed", Export.Int report.committed);
+            ("aborted", Export.Int report.aborted);
+            ("torn", Export.Int report.torn);
+            ("blocked", Export.Int report.blocked);
+            ( "termination_invocations",
+              Export.Int report.termination_invocations );
+            ("probes", Export.Int report.probes);
+          ] );
+      ("throughput_per_100t", Export.Float report.throughput_per_100t);
+      ("latency_commit", stats_json report.latency);
+      ("queue_wait", stats_json report.queue_wait);
+      ( "money",
+        Export.Obj
+          [
+            ("disk_total", Export.Int report.disk_total);
+            ( "applied_total",
+              Export.Int (Auditor.applied_total report.auditor) );
+            ( "atomic_expected_total",
+              Export.Int (Auditor.atomic_expected_total report.auditor) );
+          ] );
+      ("atomic", Export.Bool (atomic report));
+      ("auditor", Auditor.to_json report.auditor);
+      ( "net",
+        Export.Obj
+          [
+            ("sent", Export.Int report.net_stats.sent);
+            ("delivered", Export.Int report.net_stats.delivered);
+            ("bounced", Export.Int report.net_stats.bounced);
+            ("lost", Export.Int report.net_stats.lost);
+          ] );
+      ("metrics", Metrics.to_json report.metrics);
+    ]
+
+let pp_report fmt report =
+  let (module P : Site.S) = report.config.protocol in
+  Format.fprintf fmt
+    "cluster %s n=%d: offered=%d admitted=%d rejected=%d starved=%d@."
+    P.name report.config.n report.offered report.admitted report.rejected
+    report.starved;
+  Format.fprintf fmt
+    "  committed=%d aborted=%d torn=%d blocked=%d terminations=%d probes=%d@."
+    report.committed report.aborted report.torn report.blocked
+    report.termination_invocations report.probes;
+  Format.fprintf fmt "  throughput=%.1f committed/100T@."
+    report.throughput_per_100t;
+  (match report.latency with
+  | Some s ->
+      Format.fprintf fmt "  commit latency: %a@."
+        (Stats.pp_in_t ~unit_t:report.config.t_unit)
+        s
+  | None -> ());
+  Format.fprintf fmt "  money: disk=%d applied=%d atomic-expected=%d %s@."
+    report.disk_total
+    (Auditor.applied_total report.auditor)
+    (Auditor.atomic_expected_total report.auditor)
+    (if atomic report then "(conserved)" else "(VIOLATED)")
+
+let pp_timeline fmt report =
+  let m = report.metrics in
+  let bucket = Vtime.to_int (Metrics.bucket_ticks m) in
+  let unit_t = Vtime.to_int report.config.t_unit in
+  let last_bucket = (Vtime.to_int report.horizon - 1) / bucket in
+  let count series b =
+    match List.assoc_opt b (Metrics.series m series) with
+    | Some c -> c
+    | None -> 0
+  in
+  Format.fprintf fmt "  %-12s %-9s %-9s %-9s %-13s@." "interval" "arrivals"
+    "commits" "aborts" "terminations";
+  for b = 0 to last_bucket do
+    let lo = b * bucket and hi = (b + 1) * bucket in
+    let mid = Vtime.of_int (lo + (bucket / 2)) in
+    Format.fprintf fmt "  %4dT-%4dT  %-9d %-9d %-9d %-13d%s@." (lo / unit_t)
+      (hi / unit_t) (count "arrivals" b) (count "commits" b)
+      (count "aborts" b) (count "terminations" b)
+      (if Partition.active_at report.config.timeline mid then
+         "  | partition up"
+       else "")
+  done

@@ -1,0 +1,98 @@
+(** The long-running cluster runtime.
+
+    Where {!Commit_db.Tm} runs a fixed batch of transactions to a
+    verdict, the runtime keeps a cluster of [n] sites alive for an
+    open-ended stretch of virtual time and streams transactions through
+    it: an arrival process offers [load] cross-site transfers per 100T,
+    the {!Scheduler} admits them into a bounded in-flight window and
+    places a coordinator per transaction, every admitted transaction
+    runs the configured commit protocol over the one shared network —
+    and a partition timeline ({!Partition.sequence}-style cut/heal
+    phases) plays out underneath, with the Section-5 termination
+    protocol engaging automatically on partition detection (it {e is}
+    the configured protocol's UD/timeout machinery; swap in plain 2PC
+    or 3PC to watch the same timeline strand transactions instead).
+
+    Coordinators other than site 1 are realised by relabeling: a
+    transaction coordinated by physical site [m] runs its protocol
+    instances over {e logical} site ids rotated so that [m] is logical
+    site 1 (the paper's protocols hard-wire "site 1 masters"); the wire
+    and the partition operate on physical ids throughout, and envelopes
+    are translated at the boundary.
+
+    Everything observable flows into the {!Metrics} pipeline and the
+    continuous {!Auditor}; {!to_json} drains both plus the run summary
+    into one deterministic document — same config and seed, byte-
+    identical JSON. *)
+
+type config = {
+  protocol : Site.packed;
+  n : int;
+  t_unit : Vtime.t;
+  mode : Network.mode;
+  timeline : Partition.t;  (** the cut/heal schedule; physical sites *)
+  delay : Delay.t;
+  seed : int64;
+  duration : Vtime.t;  (** arrivals stop at this instant *)
+  drain : Vtime.t;  (** extra run time for in-flight transactions *)
+  load : int;  (** offered transactions per 100T; >= 1 *)
+  window : int;  (** max concurrently running transactions *)
+  queue_limit : int option;  (** admission queue bound; [None] = unbounded *)
+  policy : Scheduler.policy;
+  pause_during_cut : bool;
+  balance : int;  (** initial per-account balance of each transfer *)
+  amount : int;  (** amount moved by each transfer *)
+  bucket : Vtime.t;  (** metrics time-series bucket width *)
+  trace_enabled : bool;
+}
+
+val default_config : ?protocol:Site.packed -> ?n:int -> unit -> config
+(** Termination-transient protocol, [n = 3], [T = 1000] ticks, 200T
+    duration, 30T drain, load 50, window 8, queue limit 64,
+    partition-aware policy, 10T buckets. *)
+
+type report = {
+  config : config;
+  horizon : Vtime.t;
+  offered : int;
+  admitted : int;
+  rejected : int;
+  starved : int;  (** still queued when the run ended *)
+  committed : int;
+  aborted : int;
+  torn : int;
+  blocked : int;  (** admitted but undecided somewhere at the horizon *)
+  settled : int;
+  termination_invocations : int;
+      (** transactions whose decision path went through the termination
+          machinery (any non-failure-free decision reason) *)
+  probes : int;  (** termination-protocol probe messages on the wire *)
+  latency : Commit_checker.Stats.t option;
+      (** admission -> last site decided, committed transactions *)
+  queue_wait : Commit_checker.Stats.t option;
+  throughput_per_100t : float;  (** committed per 100T of [duration] *)
+  disk_total : int;  (** money in the durable stores at the horizon *)
+  auditor : Auditor.t;
+  metrics : Metrics.t;
+  net_stats : Network.stats;
+  trace : Trace.t;
+}
+
+val run : config -> report
+(** @raise Invalid_argument on a non-positive load/window or
+    [amount >= balance]. *)
+
+val atomic : report -> bool
+(** No torn transactions, no conservation breaches, and the durable
+    stores hold exactly the money the auditor witnessed. *)
+
+val to_json : report -> Commit_checker.Export.json
+(** Deterministic: a fixed field order and name-sorted metric objects;
+    identical configs and seeds yield byte-identical documents. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val pp_timeline : Format.formatter -> report -> unit
+(** The bucket-by-bucket life of the cluster: arrivals, commits,
+    aborts, termination settlements, with the partition phases marked —
+    the cluster-life example's table. *)

@@ -44,6 +44,38 @@ let bank_transfers ~n ~pairs ~balance ~amount ~spacing ~seed =
     txns;
   }
 
+let transfer ~tid ~start_at ~debtor ~creditor ~balance ~amount =
+  if Site_id.equal debtor creditor then
+    invalid_arg "Workload.transfer: debtor and creditor must differ";
+  if amount <= 0 || amount >= balance then
+    invalid_arg "Workload.transfer: need 0 < amount < balance";
+  Tm.txn ~tid ~start_at
+    [
+      ( debtor,
+        [
+          {
+            Wal.key = Printf.sprintf "acct:%d:d" tid;
+            value = string_of_int (balance - amount);
+          };
+        ] );
+      ( creditor,
+        [
+          {
+            Wal.key = Printf.sprintf "acct:%d:c" tid;
+            value = string_of_int (balance + amount);
+          };
+        ] );
+    ]
+
+let transfer_contributions spec =
+  List.map
+    (fun (site, updates) ->
+      ( site,
+        List.fold_left
+          (fun acc (u : Wal.update) -> acc + int_of_string u.value)
+          0 updates ))
+    spec.Tm.writes
+
 let expected_total t ~prefix =
   List.fold_left
     (fun acc (_, kvs) ->

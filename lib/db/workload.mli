@@ -35,6 +35,30 @@ val bank_transfers :
 val expected_total : t -> prefix:string -> int
 (** The conserved total for {!bank_transfers} workloads. *)
 
+val transfer :
+  tid:int ->
+  start_at:Vtime.t ->
+  debtor:Site_id.t ->
+  creditor:Site_id.t ->
+  balance:int ->
+  amount:int ->
+  Tm.txn_spec
+(** A single self-contained transfer for {e open-ended} streams (the
+    cluster runtime): the transaction creates its own two accounts
+    ["acct:<tid>:d"] / ["acct:<tid>:c"] with final values
+    [balance - amount] / [balance + amount].  A committed transfer adds
+    exactly [2 * balance] to the cluster's books, an aborted one adds
+    nothing, and a {e torn} one adds a value distinguishable from both —
+    which is what the continuous atomicity auditor keys on.
+
+    @raise Invalid_argument if the sites coincide or
+    [amount >= balance]. *)
+
+val transfer_contributions : Tm.txn_spec -> (Site_id.t * int) list
+(** Per-site money the transaction deposits if that site commits (the
+    sum of its integer write values) — the auditor's per-site
+    contribution ledger. *)
+
 val hot_spot :
   n:int -> txns:int -> spacing:Vtime.t -> t
 (** All transactions write the key ["hot"] at site 2 plus a private

@@ -255,6 +255,85 @@ let test_stats_singleton () =
       check Alcotest.int "all quantiles equal" 7 s.Stats.p50;
       check Alcotest.int "max" 7 s.Stats.max
 
+let test_stats_acc_empty () =
+  check Alcotest.bool "empty is None" true (Stats.Acc.to_stats Stats.Acc.empty = None);
+  check Alcotest.int "count" 0 (Stats.Acc.count Stats.Acc.empty);
+  let raised =
+    try
+      ignore (Stats.Acc.add Stats.Acc.empty (-1));
+      false
+    with Invalid_argument _ -> true
+  in
+  check Alcotest.bool "negative rejected" true raised
+
+let test_stats_acc_singleton () =
+  (* A single sample is exact in every field, even in the coarse
+     bucketing range, because percentiles clamp to [min, max]. *)
+  List.iter
+    (fun v ->
+      match Stats.Acc.to_stats (Stats.Acc.add Stats.Acc.empty v) with
+      | None -> Alcotest.fail "expected stats"
+      | Some s ->
+          check Alcotest.int "count" 1 s.Stats.count;
+          check Alcotest.int "min" v s.Stats.min;
+          check Alcotest.int "p50" v s.Stats.p50;
+          check Alcotest.int "p99" v s.Stats.p99;
+          check Alcotest.int "max" v s.Stats.max;
+          check (Alcotest.float 0.001) "mean" (float_of_int v) s.Stats.mean)
+    [ 0; 7; 63; 64; 5000; 123_456_789 ]
+
+let test_stats_acc_merge_vs_batch () =
+  (* Splitting a sample stream across accumulators and merging is
+     exactly the same as accumulating everything in one — the cluster's
+     sharded metric pipelines depend on it. *)
+  let samples =
+    List.init 500 (fun i -> (i * 7919) mod 10_000)
+    @ List.init 100 (fun i -> i)
+  in
+  let rec split_3 (a, b, c) k = function
+    | [] -> (a, b, c)
+    | x :: rest ->
+        let next =
+          match k mod 3 with
+          | 0 -> (x :: a, b, c)
+          | 1 -> (a, x :: b, c)
+          | _ -> (a, b, x :: c)
+        in
+        split_3 next (k + 1) rest
+  in
+  let sa, sb, sc = split_3 ([], [], []) 0 samples in
+  let acc_of l = Stats.Acc.add_list Stats.Acc.empty l in
+  let batch = acc_of samples in
+  let merged =
+    Stats.Acc.merge (acc_of sa) (Stats.Acc.merge (acc_of sb) (acc_of sc))
+  in
+  check Alcotest.int "count" (Stats.Acc.count batch) (Stats.Acc.count merged);
+  check Alcotest.int "total" (Stats.Acc.total batch) (Stats.Acc.total merged);
+  match (Stats.Acc.to_stats batch, Stats.Acc.to_stats merged) with
+  | Some b, Some m ->
+      check Alcotest.int "min" b.Stats.min m.Stats.min;
+      check Alcotest.int "p50" b.Stats.p50 m.Stats.p50;
+      check Alcotest.int "p90" b.Stats.p90 m.Stats.p90;
+      check Alcotest.int "p99" b.Stats.p99 m.Stats.p99;
+      check Alcotest.int "max" b.Stats.max m.Stats.max;
+      check (Alcotest.float 0.0001) "mean" b.Stats.mean m.Stats.mean
+  | _ -> Alcotest.fail "expected stats"
+
+let test_stats_acc_vs_exact () =
+  (* In the exact range (< 64) the streaming histogram agrees with
+     Stats.of_list on every field. *)
+  let samples = List.init 60 (fun i -> (i * 13) mod 60) in
+  match
+    (Stats.of_list samples, Stats.Acc.to_stats (Stats.Acc.add_list Stats.Acc.empty samples))
+  with
+  | Some exact, Some streamed ->
+      check Alcotest.int "p50" exact.Stats.p50 streamed.Stats.p50;
+      check Alcotest.int "p90" exact.Stats.p90 streamed.Stats.p90;
+      check Alcotest.int "p99" exact.Stats.p99 streamed.Stats.p99;
+      check Alcotest.int "min" exact.Stats.min streamed.Stats.min;
+      check Alcotest.int "max" exact.Stats.max streamed.Stats.max
+  | _ -> Alcotest.fail "expected stats"
+
 (* ------------------------------------------------------------------ *)
 (* Diagram                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -405,6 +484,12 @@ let () =
           Alcotest.test_case "empty" `Quick test_stats_empty;
           Alcotest.test_case "quantiles" `Quick test_stats_quantiles;
           Alcotest.test_case "singleton" `Quick test_stats_singleton;
+          Alcotest.test_case "acc empty" `Quick test_stats_acc_empty;
+          Alcotest.test_case "acc singleton" `Quick test_stats_acc_singleton;
+          Alcotest.test_case "acc merge = batch" `Quick
+            test_stats_acc_merge_vs_batch;
+          Alcotest.test_case "acc matches exact stats" `Quick
+            test_stats_acc_vs_exact;
         ] );
       ( "diagram",
         [

@@ -1,0 +1,282 @@
+(* Tests for the long-running cluster runtime (lib/cluster). *)
+
+module Cluster = Commit_cluster
+module Scheduler = Cluster.Scheduler
+module Auditor = Cluster.Auditor
+module Metrics = Cluster.Metrics
+module Runtime = Cluster.Runtime
+
+let check = Alcotest.check
+
+let site = Site_id.of_int
+
+let t mult = Vtime.of_int (mult * 1000)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheduler_window () =
+  let s = Scheduler.create ~queue_limit:2 ~window:2 ~n:3 () in
+  let timeline = Partition.none and now = Vtime.zero in
+  let admit label =
+    match Scheduler.submit s ~timeline ~now label with
+    | `Admit _ -> `Admit
+    | `Enqueued -> `Enqueued
+    | `Rejected -> `Rejected
+  in
+  check Alcotest.bool "first admitted" true (admit "a" = `Admit);
+  check Alcotest.bool "second admitted" true (admit "b" = `Admit);
+  check Alcotest.bool "third queued" true (admit "c" = `Enqueued);
+  check Alcotest.bool "fourth queued" true (admit "d" = `Enqueued);
+  check Alcotest.bool "fifth rejected" true (admit "e" = `Rejected);
+  check Alcotest.int "in flight" 2 (Scheduler.in_flight s);
+  check Alcotest.int "queued" 2 (Scheduler.queued s);
+  check Alcotest.int "rejected" 1 (Scheduler.rejected s);
+  (* nothing pops while the window is full *)
+  check Alcotest.bool "no pop" true (Scheduler.next s ~timeline ~now = None);
+  Scheduler.complete s;
+  (match Scheduler.next s ~timeline ~now with
+  | Some ("c", _) -> ()
+  | Some _ -> Alcotest.fail "FIFO order violated"
+  | None -> Alcotest.fail "slot free but nothing popped");
+  check Alcotest.int "admitted total" 3 (Scheduler.admitted s)
+
+let test_scheduler_policies () =
+  let timeline =
+    Partition.make
+      ~group2:(Site_id.set_of_ints [ 3; 4 ])
+      ~starts_at:(t 1) ~heals_at:(t 2) ~n:4 ()
+  in
+  let masters policy ~now rounds =
+    let s = Scheduler.create ~policy ~window:1000 ~n:4 () in
+    List.init rounds (fun _ ->
+        match Scheduler.submit s ~timeline ~now () with
+        | `Admit m -> m
+        | `Enqueued | `Rejected -> Alcotest.fail "expected admission")
+  in
+  check Alcotest.bool "fixed always master" true
+    (List.for_all Site_id.is_master
+       (masters Scheduler.Fixed_master ~now:Vtime.zero 8));
+  let rr = masters Scheduler.Round_robin ~now:Vtime.zero 8 in
+  check Alcotest.int "round-robin covers all sites" 4
+    (List.length (List.sort_uniq compare rr));
+  (* partition-aware while the cut is up: only G1 coordinators *)
+  let aware = masters Scheduler.Partition_aware ~now:(t 1) 8 in
+  check Alcotest.bool "aware avoids G2" true
+    (List.for_all
+       (fun m -> Site_id.Set.mem m (Partition.group1 timeline ~n:4))
+       aware);
+  check Alcotest.int "aware still rotates within G1" 2
+    (List.length (List.sort_uniq compare aware));
+  (* after the heal it rotates over everybody again *)
+  let healed = masters Scheduler.Partition_aware ~now:(t 3) 8 in
+  check Alcotest.int "healed rotation covers all" 4
+    (List.length (List.sort_uniq compare healed))
+
+let test_scheduler_pause () =
+  let timeline =
+    Partition.make
+      ~group2:(Site_id.set_of_ints [ 3 ])
+      ~starts_at:(t 1) ~heals_at:(t 2) ~n:3 ()
+  in
+  let s = Scheduler.create ~pause_during_cut:true ~window:4 ~n:3 () in
+  (match Scheduler.submit s ~timeline ~now:(t 1) () with
+  | `Enqueued -> ()
+  | `Admit _ | `Rejected -> Alcotest.fail "paused scheduler must enqueue");
+  check Alcotest.bool "still paused" true
+    (Scheduler.next s ~timeline ~now:(t 1) = None);
+  check Alcotest.bool "drains after heal" true
+    (Scheduler.next s ~timeline ~now:(t 2) <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Auditor                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let contributions = [ (site 1, 975); (site 2, 1025) ]
+
+let test_auditor_commit_abort () =
+  let a = Auditor.create ~n:3 () in
+  Auditor.begin_txn a ~tid:1 ~contributions;
+  Auditor.begin_txn a ~tid:2 ~contributions;
+  check Alcotest.int "open" 2 (Auditor.open_txns a);
+  List.iter (fun s -> Auditor.record a ~tid:1 ~site:(site s) Types.Commit) [ 1; 2; 3 ];
+  List.iter (fun s -> Auditor.record a ~tid:2 ~site:(site s) Types.Abort) [ 1; 2; 3 ];
+  check Alcotest.int "settled" 2 (Auditor.settled a);
+  check Alcotest.int "open after settle" 0 (Auditor.open_txns a);
+  check Alcotest.int "applied" 2000 (Auditor.applied_total a);
+  check Alcotest.int "atomic expected" 2000 (Auditor.atomic_expected_total a);
+  check Alcotest.bool "clean" true (Auditor.check a = Ok ())
+
+let test_auditor_torn () =
+  let a = Auditor.create ~n:3 () in
+  Auditor.begin_txn a ~tid:7 ~contributions;
+  Auditor.record a ~tid:7 ~site:(site 1) Types.Commit;
+  Auditor.record a ~tid:7 ~site:(site 2) Types.Abort;
+  Auditor.record a ~tid:7 ~site:(site 3) Types.Abort;
+  check Alcotest.int "one violation" 1 (Auditor.agreement_violations a);
+  check (Alcotest.list Alcotest.int) "torn tid recorded" [ 7 ]
+    (Auditor.torn_tids a);
+  check Alcotest.int "partial deposit counted as breach" 1
+    (Auditor.conservation_breaches a);
+  check Alcotest.bool "check fails" true (Auditor.check a <> Ok ());
+  (* duplicate identical decision is idempotent; a flip is an error *)
+  Auditor.record a ~tid:7 ~site:(site 1) Types.Commit;
+  let raised =
+    try
+      Auditor.record a ~tid:7 ~site:(site 1) Types.Abort;
+      false
+    with Invalid_argument _ -> true
+  in
+  check Alcotest.bool "decision flip raises" true raised
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_basics () =
+  let m = Metrics.create ~bucket:(t 10) ~t_unit:(t 1) () in
+  Metrics.incr m "x";
+  Metrics.add m "x" 4;
+  check Alcotest.int "counter" 5 (Metrics.counter m "x");
+  check Alcotest.int "missing counter" 0 (Metrics.counter m "nope");
+  Metrics.mark m ~at:(t 5) "commits";
+  Metrics.mark m ~at:(t 5) "commits";
+  Metrics.mark m ~at:(t 15) "commits";
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "series buckets"
+    [ (0, 2); (1, 1) ]
+    (Metrics.series m "commits");
+  Metrics.observe m "lat" 100;
+  Metrics.observe m "lat" 300;
+  (match Metrics.histogram m "lat" with
+  | Some s ->
+      check Alcotest.int "histogram count" 2 s.Stats.count;
+      check Alcotest.int "histogram min" 100 s.Stats.min
+  | None -> Alcotest.fail "histogram missing");
+  (* deterministic JSON: keys sorted, shape stable *)
+  let json = Format.asprintf "%a" Export.pp (Metrics.to_json m) in
+  let json' = Format.asprintf "%a" Export.pp (Metrics.to_json m) in
+  check Alcotest.string "json stable" json json'
+
+(* ------------------------------------------------------------------ *)
+(* Runtime                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let timeline =
+  Partition.make
+    ~group2:(Site_id.set_of_ints [ 3 ])
+    ~starts_at:(t 40) ~heals_at:(t 120) ~n:3 ()
+
+let config protocol =
+  { (Runtime.default_config ~protocol ()) with Runtime.timeline }
+
+let test_runtime_failure_free () =
+  let report =
+    Runtime.run
+      { (Runtime.default_config ()) with Runtime.timeline = Partition.none }
+  in
+  check Alcotest.int "everything offered admitted" report.Runtime.offered
+    report.Runtime.admitted;
+  check Alcotest.int "everything commits" report.Runtime.admitted
+    report.Runtime.committed;
+  check Alcotest.int "nothing blocked" 0 report.Runtime.blocked;
+  check Alcotest.int "no termination work" 0
+    report.Runtime.termination_invocations;
+  check Alcotest.bool "atomic" true (Runtime.atomic report);
+  check Alcotest.int "money matches the ledger"
+    (Auditor.atomic_expected_total report.Runtime.auditor)
+    report.Runtime.disk_total
+
+let test_runtime_termination_under_cut () =
+  let report = Runtime.run (config (module Termination.Transient : Site.S)) in
+  check Alcotest.bool "some transactions committed" true
+    (report.Runtime.committed > 0);
+  check Alcotest.bool "the cut forced termination work" true
+    (report.Runtime.termination_invocations > 0);
+  check Alcotest.int "nothing blocked" 0 report.Runtime.blocked;
+  check Alcotest.int "nothing torn" 0 report.Runtime.torn;
+  check Alcotest.int "everything settled" report.Runtime.admitted
+    report.Runtime.settled;
+  check Alcotest.bool "atomic through the partition" true
+    (Runtime.atomic report)
+
+let test_runtime_baselines_block () =
+  List.iter
+    (fun protocol ->
+      let report = Runtime.run (config protocol) in
+      check Alcotest.bool "cut wedges the window" true
+        (report.Runtime.blocked > 0);
+      check Alcotest.bool "queue backs up" true (report.Runtime.starved > 0);
+      check Alcotest.bool "never invokes termination" true
+        (report.Runtime.termination_invocations = 0))
+    [ (module Two_phase : Site.S); (module Three_phase) ]
+
+let test_runtime_deterministic_json () =
+  let dump () =
+    Format.asprintf "%a" Export.pp
+      (Runtime.to_json
+         (Runtime.run (config (module Termination.Transient : Site.S))))
+  in
+  check Alcotest.string "byte-identical reruns" (dump ()) (dump ());
+  let other =
+    Format.asprintf "%a" Export.pp
+      (Runtime.to_json
+         (Runtime.run
+            { (config (module Termination.Transient : Site.S)) with
+              Runtime.seed = 2L;
+            }))
+  in
+  check Alcotest.bool "a different seed changes the run" true (dump () <> other)
+
+let test_runtime_pause_during_cut () =
+  let report =
+    Runtime.run
+      {
+        (config (module Termination.Transient : Site.S)) with
+        Runtime.pause_during_cut = true;
+        queue_limit = None;
+      }
+  in
+  (* deferring admissions during the cut avoids most termination work
+     and still settles everything after the heal *)
+  check Alcotest.int "nothing blocked" 0 report.Runtime.blocked;
+  check Alcotest.int "nothing rejected" 0 report.Runtime.rejected;
+  check Alcotest.bool "atomic" true (Runtime.atomic report);
+  check Alcotest.bool "queue drained after the heal" true
+    (report.Runtime.starved = 0)
+
+let () =
+  Alcotest.run "commit_cluster"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "window and queue" `Quick test_scheduler_window;
+          Alcotest.test_case "placement policies" `Quick
+            test_scheduler_policies;
+          Alcotest.test_case "pause during cut" `Quick test_scheduler_pause;
+        ] );
+      ( "auditor",
+        [
+          Alcotest.test_case "commit and abort settle" `Quick
+            test_auditor_commit_abort;
+          Alcotest.test_case "torn transaction" `Quick test_auditor_torn;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters, series, histograms" `Quick
+            test_metrics_basics ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "failure-free steady state" `Quick
+            test_runtime_failure_free;
+          Alcotest.test_case "termination rides out the cut" `Quick
+            test_runtime_termination_under_cut;
+          Alcotest.test_case "2pc/3pc wedge the window" `Quick
+            test_runtime_baselines_block;
+          Alcotest.test_case "deterministic JSON" `Quick
+            test_runtime_deterministic_json;
+          Alcotest.test_case "pause-during-cut drains after heal" `Quick
+            test_runtime_pause_during_cut;
+        ] );
+    ]

@@ -151,6 +151,86 @@ let test_partition_sequence () =
           b;
         ])
 
+(* A generated chain of non-overlapping cut/heal windows, from a list
+   of (gap, width) pairs: phase i starts gap+1 after the previous heal
+   and stays up for width+1 ticks. *)
+let build_timeline ~n specs =
+  let phases, windows, _ =
+    List.fold_left
+      (fun (phases, windows, t0) (gap, width) ->
+        let starts = t0 + gap + 1 in
+        let heals = starts + width + 1 in
+        ( Partition.make ~group2:(g2 [ n ]) ~starts_at:(Vtime.of_int starts)
+            ~heals_at:(Vtime.of_int heals) ~n ()
+          :: phases,
+          (starts, heals) :: windows,
+          heals ))
+      ([], [], 0) specs
+  in
+  (Partition.sequence (List.rev phases), List.rev windows)
+
+let sequence_active_exactly_in_phases =
+  QCheck.Test.make ~count:300
+    ~name:"sequence: active_at holds exactly inside the cut/heal windows"
+    QCheck.(
+      pair (int_range 3 6)
+        (list_of_size Gen.(int_range 1 4) (pair small_nat small_nat)))
+    (fun (n, specs) ->
+      QCheck.assume (specs <> []);
+      let timeline, windows = build_timeline ~n specs in
+      Partition.phase_count timeline = List.length specs
+      && List.for_all
+           (fun (starts, heals) ->
+             (* heal strictly after cut, and the window half-open *)
+             heals > starts
+             && Partition.active_at timeline (Vtime.of_int starts)
+             && Partition.active_at timeline (Vtime.of_int (heals - 1))
+             && not (Partition.active_at timeline (Vtime.of_int heals))
+             && not (Partition.active_at timeline (Vtime.of_int (starts - 1))))
+           windows)
+
+let sequence_rejects_overlap =
+  QCheck.Test.make ~count:300
+    ~name:"sequence: a phase starting inside the previous window is rejected"
+    QCheck.(triple (int_range 3 6) small_nat small_nat)
+    (fun (n, start, inside) ->
+      let starts_at = start + 1 in
+      let heals_at = starts_at + 10 in
+      let first =
+        Partition.make ~group2:(g2 [ n ]) ~starts_at:(Vtime.of_int starts_at)
+          ~heals_at:(Vtime.of_int heals_at) ~n ()
+      in
+      let second_start = starts_at + (inside mod 10) in
+      let second =
+        Partition.make
+          ~group2:(g2 [ 2 ])
+          ~starts_at:(Vtime.of_int second_start) ~n ()
+      in
+      try
+        ignore (Partition.sequence [ first; second ]);
+        false
+      with Invalid_argument _ -> true)
+
+let separated_symmetric_within_group =
+  QCheck.Test.make ~count:500
+    ~name:"separated: symmetric, irreflexive, and only across the boundary"
+    QCheck.(
+      quad (int_range 3 8) (pair small_nat small_nat)
+        (pair small_nat small_nat) small_nat)
+    (fun (n, (gap, width), (a0, b0), at0) ->
+      let timeline, windows = build_timeline ~n [ (gap, width) ] in
+      let a = site ((a0 mod n) + 1) and b = site ((b0 mod n) + 1) in
+      let starts, heals = List.hd windows in
+      let at = Vtime.of_int (at0 mod (heals + 2)) in
+      let in_g2 s = Site_id.Set.mem s (Partition.group2 timeline) in
+      let sep = Partition.separated timeline ~at a b in
+      sep = Partition.separated timeline ~at b a
+      && (not (Partition.separated timeline ~at a a))
+      && sep
+         = (Vtime.to_int at >= starts
+           && Vtime.to_int at < heals
+           && in_g2 a <> in_g2 b))
+
 (* ------------------------------------------------------------------ *)
 (* Delay                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -401,6 +481,9 @@ let () =
             test_partition_multiple;
           Alcotest.test_case "partition sequences" `Quick
             test_partition_sequence;
+          qtest sequence_active_exactly_in_phases;
+          qtest sequence_rejects_overlap;
+          qtest separated_symmetric_within_group;
         ] );
       ("delay", [ qtest delay_always_in_bounds ]);
       ( "network",
