@@ -932,6 +932,134 @@ let cluster_throughput () =
   row "     wedge the window permanently — see `tp_sim cluster -p 2pc`.@."
 
 (* ------------------------------------------------------------------ *)
+(* Domain-parallel sweeps — wall-clock and determinism                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock, not Sys.time: CPU time is summed across domains and
+   would hide any speedup. *)
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let jobs_from_argv () =
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  Array.iteri
+    (fun i arg ->
+      if (arg = "--jobs" || arg = "-j") && i + 1 < Array.length Sys.argv then
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some n when n >= 1 -> jobs := n
+        | Some _ | None -> ())
+    Sys.argv;
+  !jobs
+
+let parallel_sweeps () =
+  let jobs = jobs_from_argv () in
+  section
+    (Printf.sprintf
+       "Domain-parallel sweeps — sequential vs. --jobs %d (%d core%s)" jobs
+       (Domain.recommended_domain_count ())
+       (if Domain.recommended_domain_count () = 1 then "" else "s"));
+  (* Checker sweep: the Theorem-9 grid for the termination protocol. *)
+  let grid = static_grid ~n:3 @ static_grid ~n:4 in
+  let runs = List.length grid in
+  let seq, seq_s =
+    wall (fun () -> Sweep.run (module Termination.Static) grid)
+  in
+  let par, par_s =
+    wall (fun () -> Sweep.run ~jobs (module Termination.Static) grid)
+  in
+  let seq_json = Export.to_string (Export.of_summary seq) in
+  let par_json = Export.to_string (Export.of_summary par) in
+  let sweep_identical = String.equal seq_json par_json in
+  let speedup = seq_s /. par_s in
+  row "  checker sweep (%d runs):@." runs;
+  row "    sequential %.3fs (%.0f runs/s)   --jobs %d  %.3fs (%.0f runs/s)@."
+    seq_s
+    (float_of_int runs /. seq_s)
+    jobs par_s
+    (float_of_int runs /. par_s)
+    ;
+  row "    speedup %.2fx, summaries byte-identical: %b@." speedup
+    sweep_identical;
+  (* Cluster sweep: seeds x timelines, one runtime per task. *)
+  let module Cluster = Commit_cluster in
+  let base =
+    {
+      (Cluster.Runtime.default_config ()) with
+      Cluster.Runtime.duration = Vtime.of_int (t 200);
+      drain = Vtime.of_int (t 40);
+      load = 40;
+      bucket = Vtime.of_int (t 50);
+    }
+  in
+  let cut =
+    Partition.make
+      ~group2:(Site_id.set_of_ints [ 3 ])
+      ~starts_at:(Vtime.of_int (t 80))
+      ~heals_at:(Vtime.of_int (t 110))
+      ~n:3 ()
+  in
+  let cgrid =
+    {
+      Cluster.Cluster_sweep.base;
+      seeds = List.init 6 (fun i -> Int64.of_int (i + 1));
+      timelines = [ ("none", Partition.none); ("cut-80T", cut) ];
+      policies = [ Cluster.Scheduler.Partition_aware ];
+    }
+  in
+  let cruns = List.length (Cluster.Cluster_sweep.tasks cgrid) in
+  let cseq, cseq_s = wall (fun () -> Cluster.Cluster_sweep.run cgrid) in
+  let cpar, cpar_s = wall (fun () -> Cluster.Cluster_sweep.run ~jobs cgrid) in
+  let cseq_json = Export.to_string (Cluster.Cluster_sweep.to_json cseq) in
+  let cpar_json = Export.to_string (Cluster.Cluster_sweep.to_json cpar) in
+  let cluster_identical = String.equal cseq_json cpar_json in
+  let cspeedup = cseq_s /. cpar_s in
+  row "  cluster sweep (%d runtimes):@." cruns;
+  row "    sequential %.3fs (%.1f runs/s)   --jobs %d  %.3fs (%.1f runs/s)@."
+    cseq_s
+    (float_of_int cruns /. cseq_s)
+    jobs cpar_s
+    (float_of_int cruns /. cpar_s);
+  row "    speedup %.2fx, JSON byte-identical: %b@." cspeedup cluster_identical;
+  if not (sweep_identical && cluster_identical) then
+    row "  *** NONDETERMINISM: parallel output differs from sequential ***@.";
+  let bench_json =
+    Export.Obj
+      [
+        ("jobs", Export.Int jobs);
+        ("recommended_domains", Export.Int (Domain.recommended_domain_count ()));
+        ( "sweep",
+          Export.Obj
+            [
+              ("runs", Export.Int runs);
+              ("seq_seconds", Export.Float seq_s);
+              ("par_seconds", Export.Float par_s);
+              ("seq_runs_per_sec", Export.Float (float_of_int runs /. seq_s));
+              ("par_runs_per_sec", Export.Float (float_of_int runs /. par_s));
+              ("speedup", Export.Float speedup);
+              ("identical", Export.Bool sweep_identical);
+            ] );
+        ( "cluster",
+          Export.Obj
+            [
+              ("runs", Export.Int cruns);
+              ("seq_seconds", Export.Float cseq_s);
+              ("par_seconds", Export.Float cpar_s);
+              ("seq_runs_per_sec", Export.Float (float_of_int cruns /. cseq_s));
+              ("par_runs_per_sec", Export.Float (float_of_int cruns /. cpar_s));
+              ("speedup", Export.Float cspeedup);
+              ("identical", Export.Bool cluster_identical);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_sweep.json" in
+  output_string oc (Export.to_string bench_json);
+  output_string oc "\n";
+  close_out oc;
+  row "  wrote BENCH_sweep.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the simulator                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1050,5 +1178,6 @@ let () =
   latency_distribution ();
   scalability ();
   cluster_throughput ();
+  parallel_sweeps ();
   microbenchmarks ();
   Format.printf "@.done.@."

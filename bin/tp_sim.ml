@@ -5,12 +5,17 @@
      cases    Section 6 case classification for a transient scenario
      check    self-check of the paper's key claims (CI gate)
      cluster  long-running multi-transaction cluster under a partition timeline
+              (--seeds fans a domain-parallel sweep, --jobs N domains)
      db       a database workload through a commit protocol
      diagram  ASCII message-sequence diagram of one scenario
      lemma3   exhaustive Lemma 3 augmentation search
      list     available protocols and subcommands
      run      one scenario, full trace
-     sweep    a protocol over the default scenario grid *)
+     sweep    a protocol over the default scenario grid (--jobs N domains)
+
+   Sweeping subcommands accept --jobs N (N >= 1 domains; default
+   Domain.recommended_domain_count).  The summary/JSON is byte-identical
+   for every N — parallelism only changes the wall clock. *)
 
 let protocols : (string * Site.packed) list =
   [
@@ -91,6 +96,28 @@ let pessimistic_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the trace.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweep (default: the machine's \
+           recommended domain count). Must be >= 1; the result is \
+           identical for every value.")
+
+(* Invalid --jobs gets the same treatment as an invalid timeline: a
+   clean message plus a usage line, exit 2. *)
+let resolve_jobs ~subcommand = function
+  | None -> Commit_par.Pool.default_jobs ()
+  | Some n when n >= 1 -> n
+  | Some n ->
+      Format.eprintf "invalid --jobs %d: need a positive domain count@." n;
+      Format.eprintf "usage: tp_sim %s ... --jobs N   (N >= 1; default %d)@."
+        subcommand
+        (Commit_par.Pool.default_jobs ());
+      exit 2
+
 let crash_arg =
   Arg.(
     value
@@ -156,7 +183,10 @@ let run_cmd =
       $ crash_arg)
 
 let sweep_cmd =
-  let doc = "Sweep a protocol over the default scenario grid." in
+  let doc =
+    "Sweep a protocol over the default scenario grid, fanned across \
+     $(b,--jobs) domains (the summary is identical for every jobs count)."
+  in
   let heals_arg =
     Arg.(
       value & opt (list int) []
@@ -166,7 +196,8 @@ let sweep_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
   in
-  let run protocol n t heals json =
+  let run protocol n t heals json jobs =
+    let jobs = resolve_jobs ~subcommand:"sweep" jobs in
     let t_unit = Vtime.of_int t in
     let base = Runner.default_config ~n ~t_unit () in
     let grid = Scenario.default_grid ~n ~t_unit in
@@ -180,14 +211,16 @@ let sweep_cmd =
         }
     in
     let configs = Scenario.configs ~base grid in
-    let summary = Sweep.run protocol configs in
+    let summary = Sweep.run ~jobs protocol configs in
     if json then Format.printf "%a@." Export.pp (Export.of_summary summary)
     else Format.printf "%a@." Sweep.pp_summary summary;
     if summary.violations = 0 then 0 else 1
   in
   Cmd.v
     (Cmd.info "sweep" ~doc)
-    Term.(const run $ protocol_arg $ n_arg $ t_arg $ heals_arg $ json_arg)
+    Term.(
+      const run $ protocol_arg $ n_arg $ t_arg $ heals_arg $ json_arg
+      $ jobs_arg)
 
 let analyze_cmd =
   let doc = "Static FSA analysis: concurrency sets, Lemma 1/2, Rule(a)/(b)." in
@@ -475,7 +508,10 @@ let lemma3_cmd =
 let cluster_cmd =
   let module Cluster = Commit_cluster in
   let doc =
-    "Keep a cluster alive under load while a partition timeline plays out."
+    "Keep a cluster alive under load while a partition timeline plays out. \
+     With $(b,--seeds), fan one independent runtime per seed (x policies \
+     with $(b,--all-policies)) across $(b,--jobs) domains and merge the \
+     metrics exactly."
   in
   (* Time spans accept "200T" (units of T) or plain ticks. *)
   let span =
@@ -565,8 +601,25 @@ let cluster_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
+  let seeds_arg =
+    Arg.(
+      value & opt (list int64) []
+      & info [ "seeds" ] ~docv:"SEEDS"
+          ~doc:
+            "Sweep these seeds (e.g. 1,2,3) instead of running the single \
+             $(b,--seed) scenario: one independent runtime per grid point, \
+             merged into one summary.")
+  in
+  let all_policies_arg =
+    Arg.(
+      value & flag
+      & info [ "all-policies" ]
+          ~doc:
+            "With $(b,--seeds): sweep all three placement policies instead \
+             of just $(b,--policy).")
+  in
   let run protocol n t g2 cuts heals seed delay pessimistic duration drain load
-      window queue_limit policy pause json quiet =
+      window queue_limit policy pause json quiet seeds all_policies jobs =
     let t_unit = Vtime.of_int t in
     let resolve = function
       | `T v -> Vtime.of_int (v * t)
@@ -622,20 +675,50 @@ let cluster_cmd =
         pause_during_cut = pause;
       }
     in
-    let report =
-      try Cluster.Runtime.run config
-      with Invalid_argument msg ->
-        Format.eprintf "invalid cluster config: %s@." msg;
-        exit 2
-    in
-    if json then Format.printf "%a@." Export.pp (Cluster.Runtime.to_json report)
-    else begin
-      Format.printf "%a" Cluster.Runtime.pp_report report;
-      if not quiet then Format.printf "%a" Cluster.Runtime.pp_timeline report
-    end;
-    if Cluster.Runtime.atomic report && report.Cluster.Runtime.blocked = 0 then
-      0
-    else 1
+    match seeds with
+    | [] ->
+        let report =
+          try Cluster.Runtime.run config
+          with Invalid_argument msg ->
+            Format.eprintf "invalid cluster config: %s@." msg;
+            exit 2
+        in
+        if json then
+          Format.printf "%a@." Export.pp (Cluster.Runtime.to_json report)
+        else begin
+          Format.printf "%a" Cluster.Runtime.pp_report report;
+          if not quiet then
+            Format.printf "%a" Cluster.Runtime.pp_timeline report
+        end;
+        if Cluster.Runtime.atomic report && report.Cluster.Runtime.blocked = 0
+        then 0
+        else 1
+    | seeds ->
+        let jobs = resolve_jobs ~subcommand:"cluster" jobs in
+        let grid =
+          {
+            Cluster.Cluster_sweep.base = config;
+            seeds;
+            timelines =
+              [ (Format.asprintf "%a" Partition.pp timeline, timeline) ];
+            policies =
+              (if all_policies then
+                 Cluster.Scheduler.
+                   [ Fixed_master; Round_robin; Partition_aware ]
+               else [ policy ]);
+          }
+        in
+        let summary =
+          try Cluster.Cluster_sweep.run ~jobs grid
+          with Invalid_argument msg ->
+            Format.eprintf "invalid cluster sweep: %s@." msg;
+            exit 2
+        in
+        if json then
+          Format.printf "%a@." Export.pp
+            (Cluster.Cluster_sweep.to_json summary)
+        else Format.printf "%a" Cluster.Cluster_sweep.pp_summary summary;
+        if Cluster.Cluster_sweep.clean summary then 0 else 1
   in
   Cmd.v
     (Cmd.info "cluster" ~doc)
@@ -643,7 +726,8 @@ let cluster_cmd =
       const run $ cluster_protocol_arg $ n_arg $ t_arg $ g2_arg $ cut_arg
       $ cluster_heal_arg $ seed_arg $ delay_arg $ pessimistic_arg
       $ duration_arg $ drain_arg $ load_arg $ window_arg $ queue_limit_arg
-      $ policy_arg $ pause_arg $ json_arg $ quiet_arg)
+      $ policy_arg $ pause_arg $ json_arg $ quiet_arg $ seeds_arg
+      $ all_policies_arg $ jobs_arg)
 
 let list_cmd =
   let doc = "List available protocols and subcommands." in
@@ -662,14 +746,21 @@ let list_cmd =
         ("analyze", "static FSA analysis (concurrency sets, lemmas, rules)");
         ("cases", "Section 6 case classification for a transient scenario");
         ("check", "self-check of the paper's key claims (CI gate)");
-        ("cluster", "long-running cluster under a partition timeline");
+        ( "cluster",
+          "long-running cluster under a partition timeline (--seeds + \
+           --jobs: parallel sweep)" );
         ("db", "a database workload through a commit protocol");
         ("diagram", "ASCII message-sequence diagram of one scenario");
         ("lemma3", "exhaustive Lemma 3 augmentation search");
         ("list", "this listing");
         ("run", "one scenario, full trace");
-        ("sweep", "a protocol over the default scenario grid");
+        ("sweep", "a protocol over the default scenario grid (--jobs N)");
       ];
+    Format.printf
+      "sweeping subcommands take --jobs N (worker domains, default %d \
+       here);@."
+      (Commit_par.Pool.default_jobs ());
+    Format.printf "the summary is byte-identical for every N.@.";
     0
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())

@@ -107,6 +107,11 @@ let of_summary (s : Sweep.summary) =
       ("undecided", Int s.undecided);
       ( "max_decision_time",
         match s.max_decision_time with Some t -> Int t | None -> Null );
+      ("total_decision_time", Int s.total_decision_time);
+      ( "mean_decision_time",
+        match Sweep.mean_decision_time s with
+        | Some mean -> Float mean
+        | None -> Null );
       ("violation_examples", examples s.violation_examples);
       ("blocked_examples", examples s.blocked_examples);
     ]

@@ -93,6 +93,42 @@ module Acc = struct
 
   let add_list acc samples = List.fold_left add acc samples
 
+  (* Batch fast path: one pass over the array accumulating per-bucket
+     counts in a scratch table, then one map update per distinct
+     bucket.  Exactly [Array.fold_left add acc samples] — the domain-
+     parallel sweeps lean on that equivalence. *)
+  let add_many acc samples =
+    if Array.length samples = 0 then acc
+    else begin
+      let total = ref 0 in
+      let mn = ref acc.acc_min and mx = ref acc.acc_max in
+      let scratch = Hashtbl.create 64 in
+      Array.iter
+        (fun v ->
+          if v < 0 then invalid_arg "Stats.Acc.add_many: negative sample";
+          total := !total + v;
+          if v < !mn then mn := v;
+          if v > !mx then mx := v;
+          let idx = bucket_of v in
+          match Hashtbl.find_opt scratch idx with
+          | Some cell -> Stdlib.incr cell
+          | None -> Hashtbl.add scratch idx (ref 1))
+        samples;
+      {
+        acc_count = acc.acc_count + Array.length samples;
+        acc_total = acc.acc_total + !total;
+        acc_min = !mn;
+        acc_max = !mx;
+        buckets =
+          Hashtbl.fold
+            (fun idx cell buckets ->
+              Bucket_map.update idx
+                (function None -> Some !cell | Some c -> Some (c + !cell))
+                buckets)
+            scratch acc.buckets;
+      }
+    end
+
   let merge a b =
     if a.acc_count = 0 then b
     else if b.acc_count = 0 then a

@@ -42,6 +42,11 @@ module Acc : sig
 
   val add_list : acc -> int list -> acc
 
+  val add_many : acc -> int array -> acc
+  (** Batch fast path: exactly [Array.fold_left add acc samples] (one
+      scratch pass instead of one map update per sample).
+      @raise Invalid_argument on a negative sample. *)
+
   val merge : acc -> acc -> acc
 
   val count : acc -> int

@@ -7,6 +7,7 @@ type summary = {
   aborted : int;
   undecided : int;
   max_decision_time : Vtime.t option;
+  total_decision_time : int;
   violation_examples : (Runner.config * Verdict.t) list;
   blocked_examples : (Runner.config * Verdict.t) list;
 }
@@ -19,57 +20,114 @@ let run_verdicts ?(trace = false) protocol configs =
       (config, Verdict.of_result result))
     configs
 
-let run ?(keep = 3) ?trace protocol configs =
-  let verdicts = run_verdicts ?trace protocol configs in
-  let violations = ref 0 and blocked = ref 0 in
-  let committed = ref 0 and aborted = ref 0 and undecided = ref 0 in
-  let max_time = ref None in
-  let violation_examples = ref [] and blocked_examples = ref [] in
-  List.iter
-    (fun (config, (v : Verdict.t)) ->
-      (match Verdict.outcome v with
-      | `Mixed ->
-          incr violations;
-          if List.length !violation_examples < keep then
-            violation_examples := (config, v) :: !violation_examples
-      | `Committed -> incr committed
-      | `Aborted -> incr aborted
-      | `Undecided -> incr undecided);
-      if v.blocked <> [] then begin
-        incr blocked;
-        if List.length !blocked_examples < keep then
-          blocked_examples := (config, v) :: !blocked_examples
-      end;
-      match v.max_decision_time with
-      | Some at ->
-          max_time :=
-            Some
-              (match !max_time with
-              | None -> at
-              | Some prior -> Vtime.max prior at)
-      | None -> ())
-    verdicts;
+let empty ~protocol =
   {
-    protocol = Site.name protocol;
-    runs = List.length verdicts;
-    violations = !violations;
-    blocked_runs = !blocked;
-    committed = !committed;
-    aborted = !aborted;
-    undecided = !undecided;
-    max_decision_time = !max_time;
-    violation_examples = List.rev !violation_examples;
-    blocked_examples = List.rev !blocked_examples;
+    protocol;
+    runs = 0;
+    violations = 0;
+    blocked_runs = 0;
+    committed = 0;
+    aborted = 0;
+    undecided = 0;
+    max_decision_time = None;
+    total_decision_time = 0;
+    violation_examples = [];
+    blocked_examples = [];
   }
+
+(* The summary of one run: the unit the parallel merge folds over. *)
+let of_verdict ~protocol (config, (v : Verdict.t)) =
+  let base = empty ~protocol in
+  let base =
+    match Verdict.outcome v with
+    | `Mixed ->
+        {
+          base with
+          violations = 1;
+          violation_examples = [ (config, v) ];
+        }
+    | `Committed -> { base with committed = 1 }
+    | `Aborted -> { base with aborted = 1 }
+    | `Undecided -> { base with undecided = 1 }
+  in
+  let base =
+    if v.blocked <> [] then
+      { base with blocked_runs = 1; blocked_examples = [ (config, v) ] }
+    else base
+  in
+  {
+    base with
+    runs = 1;
+    max_decision_time = v.max_decision_time;
+    total_decision_time =
+      (match v.max_decision_time with Some at -> Vtime.to_int at | None -> 0);
+  }
+
+let take keep l =
+  if List.length l <= keep then l else List.filteri (fun i _ -> i < keep) l
+
+let merge ~keep a b =
+  {
+    protocol = a.protocol;
+    runs = a.runs + b.runs;
+    violations = a.violations + b.violations;
+    blocked_runs = a.blocked_runs + b.blocked_runs;
+    committed = a.committed + b.committed;
+    aborted = a.aborted + b.aborted;
+    undecided = a.undecided + b.undecided;
+    max_decision_time =
+      (match (a.max_decision_time, b.max_decision_time) with
+      | None, later | later, None -> later
+      | Some p, Some q -> Some (Vtime.max p q));
+    total_decision_time = a.total_decision_time + b.total_decision_time;
+    violation_examples = take keep (a.violation_examples @ b.violation_examples);
+    blocked_examples = take keep (a.blocked_examples @ b.blocked_examples);
+  }
+
+let run ?(keep = 3) ?jobs ?(trace = false) protocol configs =
+  let protocol_name = Site.name protocol in
+  let eval config =
+    let config = { config with Runner.trace_enabled = trace } in
+    let result = Runner.run protocol config in
+    of_verdict ~protocol:protocol_name (config, Verdict.of_result result)
+  in
+  match jobs with
+  | Some j when j < 1 -> invalid_arg "Sweep.run: jobs must be >= 1"
+  | None | Some 1 ->
+      List.fold_left
+        (fun acc config -> merge ~keep acc (eval config))
+        (empty ~protocol:protocol_name)
+        configs
+  | Some j -> (
+      match Array.of_list configs with
+      | [||] -> empty ~protocol:protocol_name
+      | configs ->
+          (* Chunks fine enough to balance uneven run costs, coarse
+             enough to amortise dispatch; any choice yields the same
+             summary (the merge is associative and in task order). *)
+          let chunk =
+            Stdlib.max 1 ((Array.length configs + (4 * j) - 1) / (4 * j))
+          in
+          Commit_par.Pool.with_pool ~domains:j (fun pool ->
+              Commit_par.Pool.map_reduce pool ~chunk eval ~merge:(merge ~keep)
+                configs))
+
+let mean_decision_time s =
+  let decided = s.runs - s.undecided in
+  if decided <= 0 then None
+  else Some (float_of_int s.total_decision_time /. float_of_int decided)
 
 let pp_summary fmt s =
   Format.fprintf fmt
     "%-22s runs=%-5d violations=%-4d blocked=%-4d commit=%-4d abort=%-4d \
-     undecided=%-3d%s"
+     undecided=%-3d%s%s"
     s.protocol s.runs s.violations s.blocked_runs s.committed s.aborted
     s.undecided
     (match s.max_decision_time with
     | Some t -> Format.asprintf " max-decide=%a" Vtime.pp t
+    | None -> "")
+    (match mean_decision_time s with
+    | Some mean -> Format.asprintf " mean-decide=%.0f" mean
     | None -> "");
   List.iter
     (fun (config, v) ->

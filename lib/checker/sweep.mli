@@ -4,7 +4,13 @@
     experiments: Theorem 9 becomes "the termination protocol's sweep has
     zero violations and zero blocked runs"; Section 3's observations
     become "the extended-2PC and 3PC+rules sweeps have nonzero
-    violations, and here are the first counterexamples". *)
+    violations, and here are the first counterexamples".
+
+    Grids are embarrassingly parallel — every run owns its engine, its
+    network and its clock — so [run ~jobs:n] partitions the grid across
+    [n] domains and folds the per-domain partial summaries in task-index
+    order.  The summary, including which counterexamples are kept, is
+    byte-identical to the sequential run for every [jobs]. *)
 
 type summary = {
   protocol : string;
@@ -16,15 +22,38 @@ type summary = {
   undecided : int;  (** runs where no site decided *)
   max_decision_time : Vtime.t option;
       (** worst decision latency across all runs *)
+  total_decision_time : int;
+      (** sum of per-run worst decision instants (ticks) over the
+          [runs - undecided] deciding runs — mean latency without
+          retaining per-run verdicts *)
   violation_examples : (Runner.config * Verdict.t) list;
   blocked_examples : (Runner.config * Verdict.t) list;
 }
 
 val run :
-  ?keep:int -> ?trace:bool -> Site.packed -> Runner.config list -> summary
+  ?keep:int ->
+  ?jobs:int ->
+  ?trace:bool ->
+  Site.packed ->
+  Runner.config list ->
+  summary
 (** Runs every config (with tracing off by default — grids are large)
     and keeps up to [keep] (default 3) example configs per failure
-    class. *)
+    class.  [jobs] (default 1 = sequential, no domains spawned) runs the
+    grid on a {!Commit_par.Pool} of that many domains; the summary is
+    identical for every value.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val merge : keep:int -> summary -> summary -> summary
+(** The exact merge the parallel path folds with: counts add, the max
+    takes the later instant, and example lists concatenate in task
+    order truncated to [keep].  Associative, with {e earlier} examples
+    winning — merging per-run summaries left to right reproduces the
+    sequential selection. *)
+
+val mean_decision_time : summary -> float option
+(** [total_decision_time / (runs - undecided)]; [None] when no run
+    decided. *)
 
 val run_verdicts :
   ?trace:bool -> Site.packed -> Runner.config list ->

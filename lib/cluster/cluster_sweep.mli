@@ -1,0 +1,63 @@
+(** Domain-parallel sweeps over cluster scenarios.
+
+    Where {!Commit_checker.Sweep} fans one-transaction scenarios over a
+    grid, a cluster sweep fans whole {!Runtime} runs: a grid of seeds ×
+    cut/heal timelines × scheduler policies, one independent runtime
+    (one engine, one vtime, one network) per task, merged into a single
+    summary via the exact merge monoids — counts add, and every run's
+    {!Metrics} pipeline (counters, series, streaming histograms) folds
+    through {!Metrics.merge_into} / {!Commit_checker.Stats.Acc.merge}.
+
+    The merge is associative and applied in task order, so the summary
+    — including {!to_json} byte-for-byte — is independent of [jobs]. *)
+
+type grid = {
+  base : Runtime.config;
+      (** every task starts from this config; the axes below override
+          [seed], [timeline] and [policy] *)
+  seeds : int64 list;
+  timelines : (string * Partition.t) list;  (** label × timeline *)
+  policies : Scheduler.policy list;
+}
+
+val tasks : grid -> (string * Runtime.config) list
+(** The grid flattened in deterministic task order (timelines outer,
+    then policies, then seeds), each with a stable
+    ["timeline/policy/seed=N"] label. *)
+
+type summary = {
+  runs : int;
+  offered : int;
+  admitted : int;
+  rejected : int;
+  starved : int;
+  settled : int;
+  committed : int;
+  aborted : int;
+  torn : int;
+  blocked : int;
+  termination_invocations : int;
+  probes : int;
+  atomic_runs : int;  (** runs where {!Runtime.atomic} held *)
+  clean_runs : int;  (** atomic {e and} nothing blocked at the horizon *)
+  failures : string list;
+      (** labels of the first non-clean runs, in task order *)
+  metrics : Metrics.t;
+      (** the exact merge of every run's pipeline — latencies, queue
+          waits, decision-reason counters, bucketed throughput series *)
+}
+
+val run : ?keep:int -> ?jobs:int -> grid -> summary
+(** Runs every task and merges.  [keep] (default 5) caps [failures];
+    [jobs] (default 1 = sequential) fans tasks across a
+    {!Commit_par.Pool} of that many domains.
+    @raise Invalid_argument if the grid is empty or [jobs < 1]. *)
+
+val clean : summary -> bool
+(** [clean_runs = runs]. *)
+
+val to_json : summary -> Commit_checker.Export.json
+(** Deterministic (fixed field order, name-sorted metric objects) and
+    independent of [jobs]: same grid, byte-identical document. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -82,6 +82,28 @@ let histogram t name =
   | None -> None
   | Some acc -> Stats.Acc.to_stats !acc
 
+let histogram_acc t name =
+  match Hashtbl.find_opt t.histograms name with
+  | None -> Stats.Acc.empty
+  | Some acc -> !acc
+
+let merge_into dst src =
+  if Vtime.to_int dst.bucket <> Vtime.to_int src.bucket then
+    invalid_arg "Metrics.merge_into: bucket widths differ";
+  Hashtbl.iter (fun name cell -> add dst name !cell) src.counters;
+  Hashtbl.iter
+    (fun name buckets ->
+      let into = find_or dst.serieses name (fun () -> Hashtbl.create 32) in
+      Hashtbl.iter
+        (fun b c ->
+          let cell = find_or into b (fun () -> ref 0) in
+          cell := !cell + !c)
+        buckets)
+    src.serieses;
+  Hashtbl.iter
+    (fun name acc -> merge_histogram dst name !acc)
+    src.histograms
+
 let to_json t =
   let counters_json =
     Export.Obj (List.map (fun (k, v) -> (k, Export.Int v)) (counters t))

@@ -53,9 +53,20 @@ val observe : t -> string -> int -> unit
 
 val histogram : t -> string -> Commit_checker.Stats.t option
 
+val histogram_acc : t -> string -> Commit_checker.Stats.Acc.acc
+(** The raw streaming accumulator ({!Commit_checker.Stats.Acc.empty}
+    for an unknown name), for cross-pipeline merging. *)
+
 val merge_histogram : t -> string -> Commit_checker.Stats.Acc.acc -> unit
 (** Fold a pre-accumulated shard into a histogram (the
     merge-vs-batch-equivalent path). *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds every counter, series bucket and
+    histogram of [src] into [dst] — the exact merge monoid: the result
+    equals recording every event into one pipeline, in any grouping.
+    [src] is not modified.
+    @raise Invalid_argument if the bucket widths differ. *)
 
 val to_json : t -> Commit_checker.Export.json
 (** [{"counters": {...}, "series": {...}, "histograms": {...}}], every

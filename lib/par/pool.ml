@@ -1,0 +1,143 @@
+(* A fixed-size domain pool over a mutex-protected task queue.
+
+   Tasks are [unit -> unit] closures that never raise: every submitted
+   chunk wraps its body in a handler that parks the exception (with its
+   backtrace) in a per-chunk slot, so a worker survives any task and
+   the pool is reusable after a failed call.  Completion is tracked by
+   a per-call countdown guarded by the same mutex as the queue. *)
+
+type task = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled when the queue grows or on shutdown *)
+  queue : task Queue.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t array;
+}
+
+type pool = t
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && pool.live do
+    Condition.wait pool.work pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop pool
+  end
+
+let create ?domains () =
+  let domains =
+    match domains with Some d -> d | None -> default_jobs ()
+  in
+  if domains < 1 then invalid_arg "Pool.create: need at least one domain";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      live = true;
+      workers = [||];
+    }
+  in
+  pool.workers <-
+    Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = Array.length pool.workers
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.live <- false;
+  pool.workers <- [||];
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join workers
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Runs [body c] for every chunk index [c] in [0 .. nchunks-1] across
+   the pool, waits for all of them, and re-raises the lowest-indexed
+   chunk's exception, if any. *)
+let run_chunks pool ~nchunks body =
+  let remaining = ref nchunks in
+  let all_done = Condition.create () in
+  let errors = Array.make nchunks None in
+  Mutex.lock pool.mutex;
+  if not pool.live then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool: pool already shut down"
+  end;
+  for c = 0 to nchunks - 1 do
+    Queue.add
+      (fun () ->
+        (try body c
+         with e -> errors.(c) <- Some (e, Printexc.get_raw_backtrace ()));
+        Mutex.lock pool.mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast all_done;
+        Mutex.unlock pool.mutex)
+      pool.queue
+  done;
+  Condition.broadcast pool.work;
+  while !remaining > 0 do
+    Condition.wait all_done pool.mutex
+  done;
+  Mutex.unlock pool.mutex;
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors
+
+let chunk_count ~chunk n =
+  if chunk < 1 then invalid_arg "Pool: chunk must be >= 1";
+  (n + chunk - 1) / chunk
+
+let map pool ~chunk f xs =
+  let n = Array.length xs in
+  let nchunks = chunk_count ~chunk n in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run_chunks pool ~nchunks (fun c ->
+        let lo = c * chunk in
+        let hi = Stdlib.min n (lo + chunk) in
+        for i = lo to hi - 1 do
+          results.(i) <- Some (f xs.(i))
+        done);
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_reduce pool ~chunk f ~merge xs =
+  let n = Array.length xs in
+  let nchunks = chunk_count ~chunk n in
+  if n = 0 then invalid_arg "Pool.map_reduce: empty input";
+  let partials = Array.make nchunks None in
+  run_chunks pool ~nchunks (fun c ->
+      let lo = c * chunk in
+      let hi = Stdlib.min n (lo + chunk) in
+      let acc = ref (f xs.(lo)) in
+      for i = lo + 1 to hi - 1 do
+        acc := merge !acc (f xs.(i))
+      done;
+      partials.(c) <- Some !acc);
+  let total = ref None in
+  Array.iter
+    (fun partial ->
+      match (partial, !total) with
+      | Some p, None -> total := Some p
+      | Some p, Some acc -> total := Some (merge acc p)
+      | None, _ -> assert false)
+    partials;
+  match !total with Some v -> v | None -> assert false

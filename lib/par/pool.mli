@@ -1,0 +1,63 @@
+(** A fixed-size [Domain] pool with chunked work distribution.
+
+    The repository's experiments are embarrassingly parallel: a sweep is
+    thousands of independent simulator runs folded into one summary, and
+    a cluster sweep is dozens of independent runtimes folded into one
+    merged metrics document.  The pool parallelises {e across} runs —
+    each run still owns one engine and one virtual clock — and recovers
+    the sequential answer exactly, provided the caller's [merge] is
+    associative: chunks are folded left-to-right {e within} each chunk
+    and partial results are folded left-to-right {e across} chunks, so
+    for an associative [merge] the result is independent of both the
+    chunk size and the number of domains.
+
+    Workers hold no state between calls; a pool survives a raising task
+    and can be reused immediately. *)
+
+type t
+(** A pool of worker domains.  Create once, run many [map]/[map_reduce]
+    calls, then {!shutdown} (or use {!with_pool}). *)
+
+type pool = t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the useful parallelism cap
+    on this machine, and the CLI's [--jobs] default. *)
+
+val create : ?domains:int -> unit -> t
+(** Spawns [domains] worker domains (default {!default_jobs}).
+    @raise Invalid_argument if [domains < 1]. *)
+
+val size : t -> int
+(** The number of worker domains. *)
+
+val shutdown : t -> unit
+(** Joins every worker.  Idempotent.  Calling {!map} or {!map_reduce}
+    on a shut-down pool raises [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] over a fresh pool and shuts it down on the
+    way out, exception or not. *)
+
+val map : t -> chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool ~chunk f xs] is [Array.map f xs], with contiguous chunks
+    of [chunk] elements dispatched across the pool's domains.  Returns
+    [ [||] ] on empty input.  If any application of [f] raises, the
+    exception raised by the lowest-indexed chunk is re-raised (with its
+    backtrace) after all chunks have finished, and the pool remains
+    usable.
+    @raise Invalid_argument if [chunk < 1]. *)
+
+val map_reduce :
+  pool -> chunk:int -> ('a -> 'b) -> merge:('b -> 'b -> 'b) -> 'a array -> 'b
+(** [map_reduce pool ~chunk f ~merge xs] is
+    [merge (... (merge (f xs.(0)) (f xs.(1))) ...) (f xs.(n-1))] — the
+    left fold of per-element results in index order — computed as
+    parallel per-chunk partial folds merged across chunks in chunk
+    order.  Equal to the sequential fold for any [chunk] and any pool
+    size whenever [merge] is associative ([merge] may consume its left
+    argument: each partial is owned by exactly one domain at a time).
+    Exceptions propagate as in {!map}.
+    @raise Invalid_argument if [chunk < 1] or [xs] is empty (there is
+    no unit to return; callers with a natural empty summary should
+    handle [ [||] ] themselves). *)

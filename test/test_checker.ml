@@ -334,6 +334,64 @@ let test_stats_acc_vs_exact () =
       check Alcotest.int "max" exact.Stats.max streamed.Stats.max
   | _ -> Alcotest.fail "expected stats"
 
+(* Everything observable about an accumulator, as one comparable value. *)
+let acc_repr acc =
+  ( Stats.Acc.count acc,
+    Stats.Acc.total acc,
+    match Stats.Acc.to_stats acc with
+    | None -> "none"
+    | Some s -> Export.to_string (Export.of_stats s) )
+
+let test_stats_acc_add_many () =
+  let samples = Array.init 777 (fun i -> i * i mod 99_991) in
+  let one_by_one = Array.fold_left Stats.Acc.add Stats.Acc.empty samples in
+  let batched = Stats.Acc.add_many Stats.Acc.empty samples in
+  check
+    Alcotest.(triple int int string)
+    "add_many = fold add" (acc_repr one_by_one) (acc_repr batched);
+  check
+    Alcotest.(triple int int string)
+    "add_many on empty array is identity"
+    (acc_repr Stats.Acc.empty)
+    (acc_repr (Stats.Acc.add_many Stats.Acc.empty [||]))
+
+let qcheck_acc_chunked_merge =
+  (* The parallel sweeps lean on this: splitting a sample stream into
+     arbitrary chunks, accumulating each independently (in either
+     order), and merging in any association gives exactly the batch
+     accumulator.  QCheck drives the chunk sizes and a shuffle seed. *)
+  QCheck.Test.make ~count:200
+    ~name:"Acc: any chunking/permutation of merges = one accumulator"
+    QCheck.(
+      triple
+        (list (int_bound 200_000))
+        (list (int_range 1 7))
+        (int_bound 10_000))
+    (fun (samples, chunk_sizes, seed) ->
+      let arr = Array.of_list samples in
+      let batch = Stats.Acc.add_many Stats.Acc.empty arr in
+      (* cut [arr] into chunks, cycling through [chunk_sizes] *)
+      let sizes = if chunk_sizes = [] then [ 3 ] else chunk_sizes in
+      let sizes = Array.of_list sizes in
+      let chunks = ref [] in
+      let pos = ref 0 and k = ref 0 in
+      while !pos < Array.length arr do
+        let len =
+          Stdlib.min sizes.(!k mod Array.length sizes) (Array.length arr - !pos)
+        in
+        chunks := Array.sub arr !pos len :: !chunks;
+        pos := !pos + len;
+        incr k
+      done;
+      let chunks = Array.of_list !chunks in
+      (* accumulate each chunk on its own, then merge in shuffled order *)
+      Rng.shuffle (Rng.create (Int64.of_int seed)) chunks;
+      let partials =
+        Array.map (Stats.Acc.add_many Stats.Acc.empty) chunks
+      in
+      let merged = Array.fold_left Stats.Acc.merge Stats.Acc.empty partials in
+      acc_repr merged = acc_repr batch)
+
 (* ------------------------------------------------------------------ *)
 (* Diagram                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -490,6 +548,8 @@ let () =
             test_stats_acc_merge_vs_batch;
           Alcotest.test_case "acc matches exact stats" `Quick
             test_stats_acc_vs_exact;
+          Alcotest.test_case "acc add_many" `Quick test_stats_acc_add_many;
+          QCheck_alcotest.to_alcotest qcheck_acc_chunked_merge;
         ] );
       ( "diagram",
         [

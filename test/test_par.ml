@@ -1,0 +1,223 @@
+(* Tests for the domain pool (lib/par) and the determinism guarantee
+   of the parallel sweeps built on it: for any [jobs], the merged
+   summary — and its JSON export — is byte-identical to the sequential
+   fold. *)
+
+module Pool = Commit_par.Pool
+module Cluster = Commit_cluster
+
+let check = Alcotest.check
+
+let t_unit = Vtime.of_int 1000
+
+let t mult = Vtime.of_int (mult * 1000)
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let input = Array.init 37 Fun.id in
+      let out = Pool.map pool ~chunk:4 (fun x -> x * x) input in
+      check Alcotest.int "length" 37 (Array.length out);
+      Array.iteri
+        (fun i y -> check Alcotest.int "element" (i * i) y)
+        out)
+
+let test_pool_map_empty () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let out = Pool.map pool ~chunk:4 (fun x -> x * x) [||] in
+      check Alcotest.int "empty in, empty out" 0 (Array.length out))
+
+let test_pool_map_reduce_empty_raises () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let raised =
+        try
+          ignore
+            (Pool.map_reduce pool ~chunk:4 Fun.id ~merge:( + ) ([||] : int array));
+          false
+        with Invalid_argument _ -> true
+      in
+      check Alcotest.bool "empty input rejected" true raised;
+      let raised =
+        try
+          ignore (Pool.map_reduce pool ~chunk:0 Fun.id ~merge:( + ) [| 1 |]);
+          false
+        with Invalid_argument _ -> true
+      in
+      check Alcotest.bool "chunk < 1 rejected" true raised)
+
+let test_pool_chunk_larger_than_input () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let input = Array.init 5 (fun i -> i + 1) in
+      let sum = Pool.map_reduce pool ~chunk:100 Fun.id ~merge:( + ) input in
+      check Alcotest.int "one chunk still reduces" 15 sum;
+      let out = Pool.map pool ~chunk:100 (fun x -> x * 2) input in
+      check Alcotest.int "one chunk still maps" 10 out.(4))
+
+let test_pool_map_reduce_ordered () =
+  (* A non-commutative merge (string concat) exposes any ordering bug:
+     chunks must fold left-to-right regardless of which domain finishes
+     first. *)
+  Pool.with_pool ~domains:3 (fun pool ->
+      let input = Array.init 26 (fun i -> String.make 1 (Char.chr (65 + i))) in
+      List.iter
+        (fun chunk ->
+          let s = Pool.map_reduce pool ~chunk Fun.id ~merge:( ^ ) input in
+          check Alcotest.string
+            (Printf.sprintf "chunk=%d keeps order" chunk)
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ" s)
+        [ 1; 2; 3; 7; 26; 100 ])
+
+exception Boom of int
+
+let test_pool_exception_propagation () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let input = Array.init 20 Fun.id in
+      let observed =
+        try
+          ignore
+            (Pool.map_reduce pool ~chunk:3
+               (fun x -> if x >= 7 then raise (Boom x) else x)
+               ~merge:( + ) input);
+          None
+        with Boom x -> Some x
+      in
+      (* elements 7..19 all raise; the lowest-indexed chunk's exception
+         (element 7, chunk [6;7;8]) is the one re-raised *)
+      check
+        Alcotest.(option int)
+        "first failing chunk wins" (Some 7) observed;
+      (* the pool survives a failed batch and runs the next one *)
+      let sum = Pool.map_reduce pool ~chunk:3 Fun.id ~merge:( + ) input in
+      check Alcotest.int "pool reusable after failure" 190 sum)
+
+let test_pool_default_jobs () =
+  check Alcotest.bool "default_jobs >= 1" true (Pool.default_jobs () >= 1);
+  let pool = Pool.create () in
+  check Alcotest.bool "default pool size >= 1" true (Pool.size pool >= 1);
+  Pool.shutdown pool;
+  (* shutdown is idempotent *)
+  Pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* Sweep determinism across jobs                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_grid () =
+  let base =
+    { (Runner.default_config ~n:3 ~t_unit ()) with Runner.trace_enabled = false }
+  in
+  Scenario.configs ~base (Scenario.default_grid ~n:3 ~t_unit)
+
+let test_sweep_jobs_deterministic () =
+  let grid = sweep_grid () in
+  let export s = Export.to_string (Export.of_summary s) in
+  let sequential = export (Sweep.run (module Termination.Static) grid) in
+  List.iter
+    (fun jobs ->
+      let parallel = export (Sweep.run ~jobs (module Termination.Static) grid) in
+      check Alcotest.string
+        (Printf.sprintf "jobs=%d = sequential" jobs)
+        sequential parallel)
+    [ 1; 2; 4 ]
+
+let test_sweep_jobs_rejects_zero () =
+  let raised =
+    try
+      ignore (Sweep.run ~jobs:0 (module Termination.Static) (sweep_grid ()));
+      false
+    with Invalid_argument _ -> true
+  in
+  check Alcotest.bool "jobs=0 rejected" true raised
+
+(* ------------------------------------------------------------------ *)
+(* Cluster-sweep determinism across jobs                               *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_grid () =
+  let base =
+    {
+      (Cluster.Runtime.default_config ()) with
+      Cluster.Runtime.duration = t 120;
+      drain = t 40;
+      load = 40;
+      bucket = t 40;
+    }
+  in
+  let cut =
+    Partition.make
+      ~group2:(Site_id.set_of_ints [ 3 ])
+      ~starts_at:(t 50) ~heals_at:(t 70) ~n:3 ()
+  in
+  {
+    Cluster.Cluster_sweep.base;
+    seeds = [ 1L; 2L; 3L ];
+    timelines = [ ("none", Partition.none); ("cut", cut) ];
+    policies =
+      [ Cluster.Scheduler.Fixed_master; Cluster.Scheduler.Partition_aware ];
+  }
+
+let test_cluster_sweep_jobs_deterministic () =
+  let grid = cluster_grid () in
+  let export s = Export.to_string (Cluster.Cluster_sweep.to_json s) in
+  let sequential = export (Cluster.Cluster_sweep.run grid) in
+  List.iter
+    (fun jobs ->
+      let parallel = export (Cluster.Cluster_sweep.run ~jobs grid) in
+      check Alcotest.string
+        (Printf.sprintf "jobs=%d = sequential" jobs)
+        sequential parallel)
+    [ 1; 2; 4 ]
+
+let test_cluster_sweep_accounting () =
+  let grid = cluster_grid () in
+  let tasks = Cluster.Cluster_sweep.tasks grid in
+  check Alcotest.int "grid size = seeds x timelines x policies" 12
+    (List.length tasks);
+  let s = Cluster.Cluster_sweep.run ~jobs:2 grid in
+  check Alcotest.int "one summary row per task" 12 s.Cluster.Cluster_sweep.runs;
+  check Alcotest.int "settled = committed + aborted + torn"
+    s.Cluster.Cluster_sweep.settled
+    (s.Cluster.Cluster_sweep.committed + s.Cluster.Cluster_sweep.aborted
+   + s.Cluster.Cluster_sweep.torn);
+  (* the merged metrics really aggregate across runs: the commit
+     histogram has one sample per committed transaction *)
+  match Cluster.Metrics.histogram s.Cluster.Cluster_sweep.metrics "latency.commit" with
+  | Some stats ->
+      check Alcotest.int "histogram spans all runs"
+        s.Cluster.Cluster_sweep.committed stats.Stats.count
+  | None -> Alcotest.fail "expected a merged commit-latency histogram"
+
+let () =
+  Alcotest.run "commit_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map" `Quick test_pool_map;
+          Alcotest.test_case "map empty" `Quick test_pool_map_empty;
+          Alcotest.test_case "map_reduce empty/chunk<1 raise" `Quick
+            test_pool_map_reduce_empty_raises;
+          Alcotest.test_case "chunk > input" `Quick
+            test_pool_chunk_larger_than_input;
+          Alcotest.test_case "merge order" `Quick test_pool_map_reduce_ordered;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "defaults and shutdown" `Quick
+            test_pool_default_jobs;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "deterministic across jobs" `Slow
+            test_sweep_jobs_deterministic;
+          Alcotest.test_case "rejects jobs=0" `Quick
+            test_sweep_jobs_rejects_zero;
+        ] );
+      ( "cluster-sweep",
+        [
+          Alcotest.test_case "deterministic across jobs" `Slow
+            test_cluster_sweep_jobs_deterministic;
+          Alcotest.test_case "accounting" `Quick test_cluster_sweep_accounting;
+        ] );
+    ]
