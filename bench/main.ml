@@ -953,8 +953,17 @@ let jobs_from_argv () =
     Sys.argv;
   !jobs
 
+let has_flag name = Array.exists (String.equal name) Sys.argv
+
 let parallel_sweeps () =
   let jobs = jobs_from_argv () in
+  let recommended = Domain.recommended_domain_count () in
+  let jobs_clamped = jobs > recommended in
+  if jobs_clamped then
+    Printf.eprintf
+      "warning: --jobs %d exceeds Domain.recommended_domain_count () = %d; \
+       domains will time-slice, expect speedup < 1\n%!"
+      jobs recommended;
   section
     (Printf.sprintf
        "Domain-parallel sweeps — sequential vs. --jobs %d (%d core%s)" jobs
@@ -1029,6 +1038,7 @@ let parallel_sweeps () =
       [
         ("jobs", Export.Int jobs);
         ("recommended_domains", Export.Int (Domain.recommended_domain_count ()));
+        ("jobs_clamped", Export.Bool jobs_clamped);
         ( "sweep",
           Export.Obj
             [
@@ -1060,6 +1070,153 @@ let parallel_sweeps () =
   row "  wrote BENCH_sweep.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Engine throughput and GC cost per event (BENCH_engine.json)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Events/sec and allocation per event are the binding constraint on
+   every sweep (BENCH_sweep.json showed parallelism cannot save a 1-core
+   container), so this section measures the discrete-event core end to
+   end: a raw schedule/pop churn, the paper's 3PC-family protocols under
+   a partition, and a cluster steady-state run — each with tracing off
+   and on.  [Gc.allocated_bytes] counts every minor allocation whether
+   or not it survives, which is exactly the hot-path metric. *)
+
+let engine_bench ~smoke () =
+  section
+    (Printf.sprintf "Engine — events/sec and GC cost per event%s"
+       (if smoke then " (smoke mode)" else ""));
+  let scale n = if smoke then max 1 (n / 20) else n in
+  let measure ~name ~trace ~iters run_once =
+    ignore (run_once ());
+    Gc.full_major ();
+    let stat0 = Gc.quick_stat () in
+    let bytes0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let events = ref 0 in
+    for _ = 1 to iters do
+      events := !events + run_once ()
+    done;
+    let seconds = Unix.gettimeofday () -. t0 in
+    let bytes1 = Gc.allocated_bytes () in
+    let stat1 = Gc.quick_stat () in
+    let ev = float_of_int !events in
+    let events_per_sec = ev /. seconds in
+    let bytes_per_event = (bytes1 -. bytes0) /. ev in
+    let minor_per_kevent =
+      float_of_int (stat1.Gc.minor_collections - stat0.Gc.minor_collections)
+      *. 1000. /. ev
+    in
+    row "  %-24s trace=%-3s %10.0f ev/s %8.1f B/ev %7.2f minor-gc/1k-ev@."
+      name trace events_per_sec bytes_per_event minor_per_kevent;
+    Export.Obj
+      [
+        ("name", Export.String name);
+        ("trace", Export.String trace);
+        ("iters", Export.Int iters);
+        ("events", Export.Int !events);
+        ("seconds", Export.Float seconds);
+        ("events_per_sec", Export.Float events_per_sec);
+        ("bytes_per_event", Export.Float bytes_per_event);
+        ("minor_gc_per_1k_events", Export.Float minor_per_kevent);
+      ]
+  in
+  (* Raw engine churn: schedule/pop only, no protocol on top. *)
+  let churn () =
+    let e = Engine.create ~trace:(Trace.create ~enabled:false ()) () in
+    for i = 1 to 10_000 do
+      ignore
+        (Engine.schedule e
+           ~rank:(if i land 1 = 0 then Engine.Delivery else Engine.Timer)
+           ~delay:(Vtime.of_int ((i mod 97) + 1))
+           ~label:(Label.Static "churn") ignore)
+    done;
+    Engine.run e;
+    Engine.events_run e
+  in
+  (* The paper's protocols under a mid-W1 partition that heals 3T
+     later, with full delay variability and n = 5.  The config is built
+     ONCE, outside the measured loop: [Delay.full] and [Partition.make]
+     allocate far more than a whole trace-off run, and rebuilding them
+     per iteration would drown the engine in harness noise. *)
+  let protocol_config trace_enabled =
+    {
+      (base_config ~n:5 ()) with
+      Runner.partition =
+        partition ~heals_after:(t 3) ~g2:[ 4; 5 ] ~at:2100 ~n:5 ();
+      delay = Delay.full ~t_max:t_unit;
+      trace_enabled;
+    }
+  in
+  let protocol_off = protocol_config false in
+  let protocol_on = protocol_config true in
+  let protocol_run protocol config () =
+    (Runner.run protocol config).Runner.events_run
+  in
+  (* Cluster steady state: many concurrent transactions, watchdogs,
+     scheduler pump — the long-running workload from PR 1. *)
+  let module Cluster = Commit_cluster in
+  let cluster_config trace_enabled =
+    {
+      (Cluster.Runtime.default_config ()) with
+      Cluster.Runtime.duration = Vtime.of_int (t 100);
+      drain = Vtime.of_int (t 30);
+      load = 40;
+      bucket = Vtime.of_int (t 25);
+      trace_enabled;
+    }
+  in
+  let cluster_off = cluster_config false in
+  let cluster_on = cluster_config true in
+  let cluster_run config () =
+    (Cluster.Runtime.run config).Cluster.Runtime.events_run
+  in
+  (* Explicit lets: list literals evaluate right-to-left, which would
+     print the rows in reverse. *)
+  let s1 =
+    measure ~name:"engine-churn" ~trace:"off" ~iters:(scale 200) (fun () ->
+        churn ())
+  in
+  let s2 =
+    measure ~name:"3pc-partition" ~trace:"off" ~iters:(scale 2000)
+      (protocol_run (module Three_phase) protocol_off)
+  in
+  let s3 =
+    measure ~name:"3pc-partition" ~trace:"on" ~iters:(scale 2000)
+      (protocol_run (module Three_phase) protocol_on)
+  in
+  let s4 =
+    measure ~name:"termination-partition" ~trace:"off" ~iters:(scale 2000)
+      (protocol_run (module Termination.Static) protocol_off)
+  in
+  let s5 =
+    measure ~name:"termination-partition" ~trace:"on" ~iters:(scale 2000)
+      (protocol_run (module Termination.Static) protocol_on)
+  in
+  let s6 =
+    measure ~name:"cluster-steady" ~trace:"off" ~iters:(scale 20)
+      (cluster_run cluster_off)
+  in
+  let s7 =
+    measure ~name:"cluster-steady" ~trace:"on" ~iters:(scale 20)
+      (cluster_run cluster_on)
+  in
+  let scenarios = [ s1; s2; s3; s4; s5; s6; s7 ] in
+  let bench_json =
+    Export.Obj
+      [
+        ("smoke", Export.Bool smoke);
+        ("t_unit", Export.Int (Vtime.to_int t_unit));
+        ("recommended_domains", Export.Int (Domain.recommended_domain_count ()));
+        ("scenarios", Export.List scenarios);
+      ]
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (Export.to_string bench_json);
+  output_string oc "\n";
+  close_out oc;
+  row "  wrote BENCH_engine.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the simulator                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1082,7 +1239,7 @@ let microbenchmarks () =
     let e = Engine.create ~trace:(Trace.create ~enabled:false ()) () in
     for i = 1 to 1000 do
       ignore
-        (Engine.schedule e ~delay:(Vtime.of_int ((i mod 97) + 1)) ~label:"x"
+        (Engine.schedule e ~delay:(Vtime.of_int ((i mod 97) + 1)) ~label:(Label.Static "x")
            ignore)
     done;
     Engine.run e
@@ -1157,6 +1314,9 @@ let () =
   Format.printf "T = %d ticks; grids are exhaustive over cuts x instants x@."
     (t 1);
   Format.printf "delay models x seeds (see Scenario.default_grid).@.";
+  let smoke = has_flag "--smoke" in
+  if has_flag "--engine-only" then engine_bench ~smoke ()
+  else begin
   fig1 ();
   fig2 ();
   fig3 ();
@@ -1179,5 +1339,7 @@ let () =
   scalability ();
   cluster_throughput ();
   parallel_sweeps ();
-  microbenchmarks ();
+  engine_bench ~smoke ();
+  microbenchmarks ()
+  end;
   Format.printf "@.done.@."

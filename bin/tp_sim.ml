@@ -110,7 +110,17 @@ let jobs_arg =
    clean message plus a usage line, exit 2. *)
 let resolve_jobs ~subcommand = function
   | None -> Commit_par.Pool.default_jobs ()
-  | Some n when n >= 1 -> n
+  | Some n when n >= 1 ->
+      (* stderr only: the summary/JSON on stdout must stay byte-identical
+         for every --jobs value. *)
+      let recommended = Domain.recommended_domain_count () in
+      if n > recommended then
+        Printf.eprintf
+          "warning: --jobs %d exceeds Domain.recommended_domain_count () = \
+           %d; domains will time-slice, expect speedup < 1\n\
+           %!"
+          n recommended;
+      n
   | Some n ->
       Format.eprintf "invalid --jobs %d: need a positive domain count@." n;
       Format.eprintf "usage: tp_sim %s ... --jobs N   (N >= 1; default %d)@."

@@ -69,6 +69,9 @@ type report = {
   metrics : Metrics.t;
   net_stats : Network.stats;
   trace : Trace.t;
+  events_run : int;
+      (* engine events executed; consumed by the bench, never serialized
+         so to_json stays byte-identical across core revisions *)
 }
 
 (* Protocol messages multiplexed by transaction id, as in Tm. *)
@@ -108,6 +111,8 @@ module Run (P : Site.S) = struct
   type state = {
     config : config;
     engine : Engine.t;
+    trace_store : Trace.t;
+    tracing : bool;
     net : wire Network.t;
     stores : Durable_site.t array;
     scheduler : Tm.txn_spec Scheduler.t;
@@ -121,8 +126,9 @@ module Run (P : Site.S) = struct
 
   let now state = Engine.now state.engine
 
+  (* Call sites guard with [state.tracing]. *)
   let trace state fmt =
-    Trace.addf (Engine.trace state.engine) ~at:(now state) ~topic:"cluster" fmt
+    Trace.addf state.trace_store ~at:(now state) ~topic:"cluster" fmt
 
   (* Per-transaction master relabeling: the protocol stack hard-wires
      "site 1 masters", so a transaction coordinated by physical site m
@@ -151,7 +157,7 @@ module Run (P : Site.S) = struct
      end
      else begin
        Metrics.incr m "txn.torn";
-       trace state "t%d TORN" rt.spec.tid
+       if state.tracing then trace state "t%d TORN" rt.spec.tid
      end);
     Metrics.incr m "txn.settled";
     Metrics.observe m "latency.settle" (Vtime.sub at rt.admitted_at);
@@ -234,7 +240,7 @@ module Run (P : Site.S) = struct
         ignore
           (Engine.schedule state.engine ~rank:Engine.Timer
              ~delay:(Vtime.of_int (12 * Vtime.to_int state.config.t_unit))
-             ~label:"q-watchdog"
+             ~label:(Label.Static "q-watchdog")
              (fun () ->
                let initial =
                  match P.state_name instance with
@@ -242,7 +248,8 @@ module Run (P : Site.S) = struct
                  | _ -> false
                in
                if rt.decisions.(i) = None && initial then begin
-                 trace state "t%d: site%d never reached; local abort"
+                 if state.tracing then
+                   trace state "t%d: site%d never reached; local abort"
                    rt.spec.tid (i + 1);
                  record_decision state rt i Types.Abort
                end)))
@@ -295,6 +302,8 @@ module Run (P : Site.S) = struct
       {
         config;
         engine;
+        trace_store;
+        tracing = Trace.enabled trace_store;
         net;
         stores = Array.init config.n (fun _ -> Durable_site.create ());
         scheduler =
@@ -357,7 +366,7 @@ module Run (P : Site.S) = struct
       if Vtime.( < ) at config.duration then begin
         incr offered;
         ignore
-          (Engine.schedule_at engine ~at ~label:"arrival" (fun () ->
+          (Engine.schedule_at engine ~at ~label:(Label.Static "arrival") (fun () ->
                let tid = i + 1 in
                let debtor =
                  Site_id.of_int (Rng.int_in wl_rng ~lo:1 ~hi:config.n)
@@ -385,11 +394,11 @@ module Run (P : Site.S) = struct
       let next = Vtime.add (now state) config.t_unit in
       if Vtime.( <= ) next horizon then
         ignore
-          (Engine.schedule_at engine ~at:next ~label:"pump" (fun () ->
+          (Engine.schedule_at engine ~at:next ~label:(Label.Static "pump") (fun () ->
                pump_loop ()))
     in
     ignore
-      (Engine.schedule_at engine ~at:config.t_unit ~label:"pump" (fun () ->
+      (Engine.schedule_at engine ~at:config.t_unit ~label:(Label.Static "pump") (fun () ->
            pump_loop ()));
     Engine.run ~until:horizon engine;
     (* Shutdown accounting. *)
@@ -440,6 +449,7 @@ module Run (P : Site.S) = struct
       metrics;
       net_stats = Network.stats net;
       trace = trace_store;
+      events_run = Engine.events_run engine;
     }
 end
 

@@ -76,6 +76,9 @@ type report = {
   metrics : Metrics.t;
   net_stats : Network.stats;
   trace : Trace.t;
+  events_run : int;
+      (** engine events executed; bench-only, excluded from {!to_json}
+          so the JSON stays byte-identical across core revisions *)
 }
 
 val run : config -> report

@@ -108,7 +108,7 @@ module Make_full (V : CONFIG) = struct
         Ctx.broadcast_slaves t.ctx Types.Xact;
         t.machine <- Master (M_wait { yes = Site_id.Set.empty });
         Ctx.Timer_slot.set t.ctx t.timer ~mult_t:Timing.master_timeout_mult
-          ~label:"w1-timeout" (fun () ->
+          ~label:(Label.Static "w1-timeout") (fun () ->
             match t.machine with
             | Master (M_wait _) ->
                 (* Idea 2: no prepare was ever generated, so no slave in
@@ -144,7 +144,7 @@ module Make_full (V : CONFIG) = struct
   let enter_collect t ~ud ~pb =
     t.machine <- Master (M_collect { ud; pb });
     Ctx.Timer_slot.set t.ctx t.timer ~mult_t:V.collect_window_mult
-      ~label:"collect-window" (fun () ->
+      ~label:(Label.Static "collect-window") (fun () ->
         match t.machine with
         | Master (M_collect { ud; pb }) -> close_collect_window t ~ud ~pb
         | Master (M_initial | M_wait _ | M_prepared _ | M_committed | M_aborted)
@@ -159,7 +159,7 @@ module Make_full (V : CONFIG) = struct
           Ctx.broadcast_slaves t.ctx Types.Prepare;
           t.machine <- Master (M_prepared { acks = Site_id.Set.empty });
           Ctx.Timer_slot.set t.ctx t.timer ~mult_t:Timing.master_timeout_mult
-            ~label:"p1-timeout" (fun () ->
+            ~label:(Label.Static "p1-timeout") (fun () ->
               match t.machine with
               | Master (M_prepared _) ->
                   (* Idea 3: the timer outlived every possible
@@ -244,7 +244,7 @@ module Make_full (V : CONFIG) = struct
 
   let enter_wait2 t ~vote_yes =
     set_slave t ~vote_yes S_wait2;
-    arm_slave_timer t ~mult_t:V.wait_window_mult ~label:"w2-window"
+    arm_slave_timer t ~mult_t:V.wait_window_mult ~label:(Label.Static "w2-window")
       ~expected:S_wait2 (fun ~vote_yes ->
         (* 6T passed with no command: no commit exists anywhere
            reachable; abort (Fig. 7's bound makes this safe). *)
@@ -257,7 +257,7 @@ module Make_full (V : CONFIG) = struct
     match V.variant with
     | Static -> Ctx.Timer_slot.cancel t.timer
     | Transient ->
-        arm_slave_timer t ~mult_t:Timing.probe_window_mult ~label:"probe-window"
+        arm_slave_timer t ~mult_t:Timing.probe_window_mult ~label:(Label.Static "probe-window")
           ~expected:S_probing (fun ~vote_yes ->
             (* Section 6: only case 3.2.2.2 keeps a probing slave waiting
                beyond 5T, and in that case the master has committed. *)
@@ -279,7 +279,7 @@ module Make_full (V : CONFIG) = struct
         if vote_yes then begin
           Ctx.send_master t.ctx Types.Yes;
           set_slave t ~vote_yes S_wait;
-          arm_slave_timer t ~mult_t:Timing.slave_timeout_mult ~label:"w-timeout"
+          arm_slave_timer t ~mult_t:Timing.slave_timeout_mult ~label:(Label.Static "w-timeout")
             ~expected:S_wait (fun ~vote_yes -> enter_wait2 t ~vote_yes)
         end
         else begin
@@ -289,7 +289,7 @@ module Make_full (V : CONFIG) = struct
     | S_wait, Types.Prepare ->
         Ctx.send_master t.ctx Types.Ack;
         set_slave t ~vote_yes S_prepared;
-        arm_slave_timer t ~mult_t:Timing.slave_timeout_mult ~label:"p-timeout"
+        arm_slave_timer t ~mult_t:Timing.slave_timeout_mult ~label:(Label.Static "p-timeout")
           ~expected:S_prepared (fun ~vote_yes -> enter_probing t ~vote_yes)
     | S_wait, Types.Commit_cmd when not V.fig8_w_commit ->
         (* Ablation: the unmodified 3PC slave of Fig. 3 has no w -> c

@@ -75,7 +75,7 @@ module Four_phase_termination = struct
     | Master M_initial ->
         Ctx.broadcast_slaves t.ctx Types.Xact;
         t.machine <- Master (M_wait { yes = Site_id.Set.empty });
-        arm_master_timer t ~label:"w1-timeout" (fun () ->
+        arm_master_timer t ~label:(Label.Static "w1-timeout") (fun () ->
             match t.machine with
             | Master (M_wait _) ->
                 (* pre-m: no prepare exists, aborting is safe *)
@@ -93,7 +93,7 @@ module Four_phase_termination = struct
   let enter_collect t ~ud ~pb =
     t.machine <- Master (M_collect { ud; pb });
     Ctx.Timer_slot.set t.ctx t.timer ~mult_t:Timing.collect_window_mult
-      ~label:"collect-window" (fun () ->
+      ~label:(Label.Static "collect-window") (fun () ->
         match t.machine with
         | Master (M_collect { ud; pb }) -> close_collect_window t ~ud ~pb
         | Master _ | Slave _ -> ())
@@ -106,7 +106,7 @@ module Four_phase_termination = struct
         if Site_id.Set.cardinal yes = n_slaves then begin
           Ctx.broadcast_slaves t.ctx Types.Pre_prepare;
           t.machine <- Master (M_buffer { pre_acks = Site_id.Set.empty });
-          arm_master_timer t ~label:"x1-timeout" (fun () ->
+          arm_master_timer t ~label:(Label.Static "x1-timeout") (fun () ->
               match t.machine with
               | Master (M_buffer _) ->
                   (* still pre-m: abort everyone *)
@@ -120,7 +120,7 @@ module Four_phase_termination = struct
         if Site_id.Set.cardinal pre_acks = n_slaves then begin
           Ctx.broadcast_slaves t.ctx Types.Prepare;
           t.machine <- Master (M_prepared { acks = Site_id.Set.empty });
-          arm_master_timer t ~label:"p1-timeout" (fun () ->
+          arm_master_timer t ~label:(Label.Static "p1-timeout") (fun () ->
               match t.machine with
               | Master (M_prepared _) ->
                   (* m was delivered everywhere: idea 3 commits *)
@@ -194,7 +194,7 @@ module Four_phase_termination = struct
 
   let enter_wait2 t ~vote_yes =
     set_slave t ~vote_yes S_wait2;
-    arm_slave_timer t ~mult_t:Timing.wait_window_mult ~label:"w2-window"
+    arm_slave_timer t ~mult_t:Timing.wait_window_mult ~label:(Label.Static "w2-window")
       ~expected:S_wait2 (fun ~vote_yes ->
         slave_decide t ~vote_yes Types.Abort ~reason:"t10-w2-expired"
           ~tell:false)
@@ -210,7 +210,7 @@ module Four_phase_termination = struct
         if vote_yes then begin
           Ctx.send_master t.ctx Types.Yes;
           set_slave t ~vote_yes S_wait;
-          arm_slave_timer t ~mult_t:Timing.slave_timeout_mult ~label:"w-timeout"
+          arm_slave_timer t ~mult_t:Timing.slave_timeout_mult ~label:(Label.Static "w-timeout")
             ~expected:S_wait (fun ~vote_yes -> enter_wait2 t ~vote_yes)
         end
         else begin
@@ -221,12 +221,12 @@ module Four_phase_termination = struct
     | S_wait, Types.Pre_prepare ->
         Ctx.send_master t.ctx Types.Pre_ack;
         set_slave t ~vote_yes S_buffer;
-        arm_slave_timer t ~mult_t:Timing.slave_timeout_mult ~label:"x-timeout"
+        arm_slave_timer t ~mult_t:Timing.slave_timeout_mult ~label:(Label.Static "x-timeout")
           ~expected:S_buffer (fun ~vote_yes -> enter_wait2 t ~vote_yes)
     | S_buffer, Types.Prepare ->
         Ctx.send_master t.ctx Types.Ack;
         set_slave t ~vote_yes S_prepared;
-        arm_slave_timer t ~mult_t:Timing.slave_timeout_mult ~label:"p-timeout"
+        arm_slave_timer t ~mult_t:Timing.slave_timeout_mult ~label:(Label.Static "p-timeout")
           ~expected:S_prepared (fun ~vote_yes -> enter_probing t ~vote_yes)
     | ( (S_initial | S_wait | S_buffer | S_wait2 | S_prepared | S_probing),
         Types.Commit_cmd ) ->

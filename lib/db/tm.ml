@@ -95,6 +95,8 @@ module Run (P : Site.S) = struct
   type state = {
     config : config;
     engine : Engine.t;
+    trace_store : Trace.t;
+    tracing : bool;
     net : wire Network.t;
     stores : Durable_site.t array;
     locks : Lock_manager.t array;
@@ -106,9 +108,9 @@ module Run (P : Site.S) = struct
 
   let locks_at state site = state.locks.(Site_id.to_int site - 1)
 
+  (* Call sites guard with [state.tracing]. *)
   let trace state fmt =
-    Trace.addf (Engine.trace state.engine) ~at:(Engine.now state.engine)
-      ~topic:"tm" fmt
+    Trace.addf state.trace_store ~at:(Engine.now state.engine) ~topic:"tm" fmt
 
   let lock_requests (spec : txn_spec) =
     List.concat_map
@@ -125,7 +127,8 @@ module Run (P : Site.S) = struct
   (* Activation: begin + stage at every site, then start the protocol. *)
   let rec activate state rt =
     rt.granted_at <- Some (Engine.now state.engine);
-    trace state "t%d: all locks granted; starting %s" rt.spec.tid P.name;
+    if state.tracing then
+      trace state "t%d: all locks granted; starting %s" rt.spec.tid P.name;
     let writes_of site =
       match List.assoc_opt site rt.spec.writes with
       | Some updates -> updates
@@ -177,7 +180,7 @@ module Run (P : Site.S) = struct
         ignore
           (Engine.schedule state.engine ~rank:Engine.Timer
              ~delay:(Vtime.of_int (12 * Vtime.to_int state.config.t_unit))
-             ~label:"q-watchdog"
+             ~label:(Label.Static "q-watchdog")
              (fun () ->
                let initial =
                  match P.state_name instance with
@@ -185,9 +188,10 @@ module Run (P : Site.S) = struct
                  | _ -> false
                in
                if rt.decisions.(i) = None && initial && not rt.victim then begin
-                 trace state
-                   "t%d: %a never reached by the transaction; local abort"
-                   rt.spec.tid Site_id.pp site;
+                 if state.tracing then
+                   trace state
+                     "t%d: %a never reached by the transaction; local abort"
+                     rt.spec.tid Site_id.pp site;
                  rt.decisions.(i) <- Some Types.Abort;
                  rt.decided_ats.(i) <- Some (Engine.now state.engine);
                  Durable_site.abort (store state site) ~tid:rt.spec.tid;
@@ -211,7 +215,8 @@ module Run (P : Site.S) = struct
   let kill_victim state rt =
     rt.victim <- true;
     state.deadlocks <- state.deadlocks + 1;
-    trace state "t%d: deadlock victim; released" rt.spec.tid;
+    if state.tracing then
+      trace state "t%d: deadlock victim; released" rt.spec.tid;
     let grants =
       List.concat_map
         (fun site -> Lock_manager.release_all (locks_at state site) ~tid:rt.spec.tid)
@@ -281,11 +286,12 @@ module Run (P : Site.S) = struct
       rt.pending_locks <- !waiting;
       if !waiting = 0 then activate state rt
       else begin
-        trace state "t%d: waiting for %d locks" rt.spec.tid !waiting;
+        if state.tracing then
+          trace state "t%d: waiting for %d locks" rt.spec.tid !waiting;
         (* Waits can only deadlock when a new waiter arrives. *)
         ignore
           (Engine.schedule state.engine ~delay:(Vtime.of_int 1)
-             ~label:"deadlock-check" (fun () -> check_deadlock state))
+             ~label:(Label.Static "deadlock-check") (fun () -> check_deadlock state))
       end
     end
 
@@ -305,6 +311,8 @@ module Run (P : Site.S) = struct
       {
         config;
         engine;
+        trace_store;
+        tracing = Trace.enabled trace_store;
         net;
         stores =
           Array.init config.n (fun i ->
@@ -352,7 +360,7 @@ module Run (P : Site.S) = struct
     List.iter
       (fun (site, at) ->
         ignore
-          (Engine.schedule_at engine ~at ~label:"crash" (fun () ->
+          (Engine.schedule_at engine ~at ~label:(Label.Static "crash") (fun () ->
                Network.crash net site)))
       config.crashes;
     List.iter
@@ -370,7 +378,7 @@ module Run (P : Site.S) = struct
         in
         Hashtbl.add state.txns spec.tid rt;
         ignore
-          (Engine.schedule_at engine ~at:spec.start_at ~label:"txn-start"
+          (Engine.schedule_at engine ~at:spec.start_at ~label:(Label.Static "txn-start")
              (fun () -> start_txn state rt)))
       specs;
     Engine.run ~until:config.horizon engine;

@@ -19,6 +19,8 @@ type stats = { sent : int; delivered : int; bounced : int; lost : int }
 
 type 'a t = {
   engine : Engine.t;
+  trace : Trace.t;  (* cached Engine.trace *)
+  tracing : bool;  (* cached Trace.enabled: skip formatting entirely *)
   n : int;
   t_max : Vtime.t;
   mode : mode;
@@ -46,8 +48,11 @@ let create ~engine ~n ~t_max ?(mode = Optimistic) ?(partition = Partition.none)
     | Some pp -> pp
     | None -> fun fmt _ -> Format.pp_print_string fmt "<msg>"
   in
+  let trace = Engine.trace engine in
   {
     engine;
+    trace;
+    tracing = Trace.enabled trace;
     n;
     t_max;
     mode;
@@ -68,11 +73,6 @@ let set_handler t handler = t.handler <- Some handler
 
 let set_tap t tap = t.tap <- Some tap
 
-let tap_emit t make_event =
-  match t.tap with
-  | None -> ()
-  | Some tap -> tap (make_event (Engine.now t.engine))
-
 let n t = t.n
 
 let t_max t = t.t_max
@@ -88,45 +88,65 @@ let is_dead t site = t.dead.(Site_id.to_int site - 1)
 
 let crash t site =
   t.dead.(Site_id.to_int site - 1) <- true;
-  Trace.addf (Engine.trace t.engine) ~at:(Engine.now t.engine) ~topic:"net"
-    "%a crashed" Site_id.pp site
+  if t.tracing then
+    Trace.addf t.trace ~at:(Engine.now t.engine) ~topic:"net" "%a crashed"
+      Site_id.pp site
 
 let alive t site = not (is_dead t site)
 
-let trace_net t fmt = Trace.addf (Engine.trace t.engine) ~at:(Engine.now t.engine) ~topic:"net" fmt
+(* Call sites guard with [t.tracing] so a disabled trace costs neither
+   the format-argument closures nor the [Engine.now] read. *)
+let trace_net t fmt =
+  Trace.addf t.trace ~at:(Engine.now t.engine) ~topic:"net" fmt
 
 let dispatch t site delivery =
   match t.handler with
   | None -> failwith "Network: message arrived before set_handler"
   | Some handler -> handler site delivery
 
+(* [tap_emit t (fun at -> ...)] allocated the thunk closure even with
+   no tap installed; the matches below only build the event when a tap
+   is listening. *)
+
 let deliver t envelope =
   if is_dead t envelope.dst then begin
     t.lost <- t.lost + 1;
-    trace_net t "%a -> %a %a: lost (destination dead)" Site_id.pp envelope.src
-      Site_id.pp envelope.dst t.pp_payload envelope.payload;
-    tap_emit t (fun at -> Lost { env = envelope; at })
+    if t.tracing then
+      trace_net t "%a -> %a %a: lost (destination dead)" Site_id.pp
+        envelope.src Site_id.pp envelope.dst t.pp_payload envelope.payload;
+    match t.tap with
+    | None -> ()
+    | Some tap -> tap (Lost { env = envelope; at = Engine.now t.engine })
   end
   else begin
     t.delivered <- t.delivered + 1;
-    trace_net t "%a -> %a: deliver %a" Site_id.pp envelope.src Site_id.pp
-      envelope.dst t.pp_payload envelope.payload;
-    tap_emit t (fun at -> Delivered { env = envelope; at });
+    if t.tracing then
+      trace_net t "%a -> %a: deliver %a" Site_id.pp envelope.src Site_id.pp
+        envelope.dst t.pp_payload envelope.payload;
+    (match t.tap with
+    | None -> ()
+    | Some tap -> tap (Delivered { env = envelope; at = Engine.now t.engine }));
     dispatch t envelope.dst (Msg envelope)
   end
 
 let bounce t envelope =
   if is_dead t envelope.src then begin
     t.lost <- t.lost + 1;
-    trace_net t "UD(%a) for %a: lost (sender dead)" t.pp_payload
-      envelope.payload Site_id.pp envelope.src;
-    tap_emit t (fun at -> Lost { env = envelope; at })
+    if t.tracing then
+      trace_net t "UD(%a) for %a: lost (sender dead)" t.pp_payload
+        envelope.payload Site_id.pp envelope.src;
+    match t.tap with
+    | None -> ()
+    | Some tap -> tap (Lost { env = envelope; at = Engine.now t.engine })
   end
   else begin
     t.bounced <- t.bounced + 1;
-    trace_net t "return UD(%a -> %a: %a) to sender" Site_id.pp envelope.src
-      Site_id.pp envelope.dst t.pp_payload envelope.payload;
-    tap_emit t (fun at -> Bounced { env = envelope; at });
+    if t.tracing then
+      trace_net t "return UD(%a -> %a: %a) to sender" Site_id.pp envelope.src
+        Site_id.pp envelope.dst t.pp_payload envelope.payload;
+    (match t.tap with
+    | None -> ()
+    | Some tap -> tap (Bounced { env = envelope; at = Engine.now t.engine }));
     dispatch t envelope.src (Undeliverable envelope)
   end
 
@@ -138,11 +158,14 @@ let arrival t envelope () =
   let now = Engine.now t.engine in
   if Partition.separated t.partition ~at:now envelope.src envelope.dst then
     match t.mode with
-    | Pessimistic ->
+    | Pessimistic -> (
         t.lost <- t.lost + 1;
-        trace_net t "%a -> %a %a: lost at boundary B" Site_id.pp envelope.src
-          Site_id.pp envelope.dst t.pp_payload envelope.payload;
-        tap_emit t (fun at -> Lost { env = envelope; at })
+        if t.tracing then
+          trace_net t "%a -> %a %a: lost at boundary B" Site_id.pp envelope.src
+            Site_id.pp envelope.dst t.pp_payload envelope.payload;
+        match t.tap with
+        | None -> ()
+        | Some tap -> tap (Lost { env = envelope; at = Engine.now t.engine }))
     | Optimistic ->
         let back =
           Delay.sample t.delay ~rng:t.rng ~t_max:t.t_max ~src:envelope.dst
@@ -150,7 +173,7 @@ let arrival t envelope () =
         in
         ignore
           (Engine.schedule t.engine ~rank:Engine.Delivery ~delay:back
-             ~label:"net-bounce" (fun () -> bounce t envelope))
+             ~label:(Label.Static "net-bounce") (fun () -> bounce t envelope))
   else deliver t envelope
 
 let send t ~src ~dst payload =
@@ -161,19 +184,25 @@ let send t ~src ~dst payload =
     (* A dead site emits nothing: its pending timers may still "fire" in
        the simulation, but the resulting sends evaporate here. *)
     t.lost <- t.lost + 1;
-    trace_net t "%a -> %a %a: suppressed (sender dead)" Site_id.pp src
-      Site_id.pp dst t.pp_payload payload;
-    tap_emit t (fun at -> Lost { env = envelope; at })
+    if t.tracing then
+      trace_net t "%a -> %a %a: suppressed (sender dead)" Site_id.pp src
+        Site_id.pp dst t.pp_payload payload;
+    match t.tap with
+    | None -> ()
+    | Some tap -> tap (Lost { env = envelope; at = Engine.now t.engine })
   end
   else begin
   t.sent <- t.sent + 1;
-  tap_emit t (fun at -> Sent { env = envelope; at });
+  (match t.tap with
+  | None -> ()
+  | Some tap -> tap (Sent { env = envelope; at = Engine.now t.engine }));
   let d = Delay.sample t.delay ~rng:t.rng ~t_max:t.t_max ~src ~dst in
-  trace_net t "%a -> %a: send %a (hop %a)" Site_id.pp src Site_id.pp dst
-    t.pp_payload payload Vtime.pp d;
+  if t.tracing then
+    trace_net t "%a -> %a: send %a (hop %a)" Site_id.pp src Site_id.pp dst
+      t.pp_payload payload Vtime.pp d;
   ignore
-    (Engine.schedule t.engine ~rank:Engine.Delivery ~delay:d ~label:"net-hop"
-       (fun () -> arrival t envelope ()))
+    (Engine.schedule t.engine ~rank:Engine.Delivery ~delay:d
+       ~label:(Label.Static "net-hop") (fun () -> arrival t envelope ()))
   end
 
 let broadcast t ~src payload =

@@ -1,5 +1,7 @@
 type t = {
   engine : Engine.t;
+  trace : Trace.t;  (* cached Engine.trace *)
+  topic : string;  (* cached "%a" Site_id.pp self — once, not per log *)
   n : int;
   t_unit : Vtime.t;
   self : Site_id.t;
@@ -11,8 +13,15 @@ type t = {
 }
 
 let make ~engine ~n ~t_unit ~self ~trans_id ~send ~on_decide ~on_reason () =
+  let trace = Engine.trace engine in
   {
     engine;
+    trace;
+    (* Rendering the topic costs ~280 words; with tracing off the string
+       is never read, so don't pay for it. *)
+    topic =
+      (if Trace.enabled trace then Format.asprintf "%a" Site_id.pp self
+       else "");
     n;
     t_unit;
     self;
@@ -39,10 +48,7 @@ let is_master t = Site_id.is_master t.self
 
 let slaves t = Site_id.slaves ~n:(n t)
 
-let topic t = Format.asprintf "%a" Site_id.pp t.self
-
-let log t fmt =
-  Trace.addf (Engine.trace t.engine) ~at:(now t) ~topic:(topic t) fmt
+let log t fmt = Trace.addf t.trace ~at:(now t) ~topic:t.topic fmt
 
 let send t dst msg = t.send_fn dst msg
 

@@ -73,11 +73,12 @@ module Timer_slot : sig
 
   val create : unit -> slot
 
-  val set : t -> slot -> mult_t:int -> label:string -> (unit -> unit) -> unit
+  val set : t -> slot -> mult_t:int -> label:Label.t -> (unit -> unit) -> unit
   (** Cancels any pending timer in the slot, then arms it for
       [mult_t * T] from now. *)
 
-  val set_ticks : t -> slot -> ticks:Vtime.t -> label:string -> (unit -> unit) -> unit
+  val set_ticks :
+    t -> slot -> ticks:Vtime.t -> label:Label.t -> (unit -> unit) -> unit
 
   val cancel : slot -> unit
 

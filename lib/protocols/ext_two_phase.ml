@@ -52,7 +52,7 @@ let begin_transaction t =
   | Master M_initial ->
       Ctx.broadcast_slaves t.ctx Types.Xact;
       t.machine <- Master (M_wait { yes = Site_id.Set.empty });
-      Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:"w1-timeout" (fun () ->
+      Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:(Label.Static "w1-timeout") (fun () ->
           match t.machine with
           | Master (M_wait _) -> master_abort t ~reason:"w1 timeout (Rule a)"
           | Master (M_initial | M_sent_commits _ | M_committed | M_aborted)
@@ -79,7 +79,7 @@ let on_master_msg t state (envelope : Types.msg Network.envelope) =
       if Site_id.Set.cardinal yes = Ctx.n t.ctx - 1 then begin
         Ctx.broadcast_slaves t.ctx Types.Commit_cmd;
         t.machine <- Master (M_sent_commits { acks = Site_id.Set.empty });
-        Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:"p1-timeout"
+        Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:(Label.Static "p1-timeout")
           (fun () ->
             match t.machine with
             | Master (M_sent_commits _) ->
@@ -123,7 +123,7 @@ let on_slave_msg t ~vote_yes state (envelope : Types.msg Network.envelope) =
       if vote_yes then begin
         Ctx.send_master t.ctx Types.Yes;
         t.machine <- Slave { vote_yes; state = S_wait };
-        Ctx.Timer_slot.set t.ctx t.timer ~mult_t:3 ~label:"w-timeout" (fun () ->
+        Ctx.Timer_slot.set t.ctx t.timer ~mult_t:3 ~label:(Label.Static "w-timeout") (fun () ->
             match t.machine with
             | Slave { state = S_wait; _ } ->
                 slave_abort t ~vote_yes ~reason:"w timeout (Rule a)"

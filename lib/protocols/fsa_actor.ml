@@ -165,7 +165,7 @@ let make ~name:protocol_name fsa assignment =
         | Some outcome ->
             let mult_t = if role_of t = M.Master then 2 else 3 in
             let here = t.state in
-            Ctx.Timer_slot.set t.ctx t.timer ~mult_t ~label:"fsa-timeout"
+            Ctx.Timer_slot.set t.ctx t.timer ~mult_t ~label:(Label.Static "fsa-timeout")
               (fun () ->
                 if String.equal t.state here then
                   jump t ("timeout in " ^ here) outcome)

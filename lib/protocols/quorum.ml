@@ -115,7 +115,7 @@ module Make (W : WEIGHTS) = struct
         Ctx.broadcast_all t.ctx
           (Types.State_inquiry { coordinator = Ctx.self t.ctx });
         (* One round trip gathers every reachable answer. *)
-        Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:"quorum-window"
+        Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:(Label.Static "quorum-window")
           (fun () -> close_window t)
 
   and close_window t =
@@ -152,7 +152,7 @@ module Make (W : WEIGHTS) = struct
           Ctx.log t.ctx
             "group weight %d cannot reach a quorum; blocked, re-polling"
             group_weight;
-          Ctx.Timer_slot.set t.ctx t.timer ~mult_t:5 ~label:"quorum-retry"
+          Ctx.Timer_slot.set t.ctx t.timer ~mult_t:5 ~label:(Label.Static "quorum-retry")
             (fun () -> start_termination t ~why:"re-poll")
         end
 
@@ -160,14 +160,15 @@ module Make (W : WEIGHTS) = struct
 
   let arm_base_timer t ~mult_t ~label =
     Ctx.Timer_slot.set t.ctx t.timer ~mult_t ~label (fun () ->
-        start_termination t ~why:(label ^ " timeout"))
+        (* forced only when the timeout actually fires *)
+        start_termination t ~why:(Label.force label ^ " timeout"))
 
   let begin_transaction t =
     match (t.role, t.base) with
     | Site.Master_role, B_initial ->
         Ctx.broadcast_slaves t.ctx Types.Xact;
         t.base <- B_wait { yes = Site_id.Set.empty };
-        arm_base_timer t ~mult_t:2 ~label:"w1"
+        arm_base_timer t ~mult_t:2 ~label:(Label.Static "w1")
     | Site.Master_role, (B_wait _ | B_prepared _ | B_committed | B_aborted)
     | Site.Slave_role _, _ ->
         ()
@@ -181,7 +182,7 @@ module Make (W : WEIGHTS) = struct
         if Site_id.Set.cardinal yes = n - 1 then begin
           Ctx.broadcast_slaves t.ctx Types.Prepare;
           t.base <- B_prepared { acks = Site_id.Set.empty };
-          arm_base_timer t ~mult_t:2 ~label:"p1"
+          arm_base_timer t ~mult_t:2 ~label:(Label.Static "p1")
         end
         else t.base <- B_wait { yes }
     | Site.Master_role, B_wait _, Types.No ->
@@ -196,7 +197,7 @@ module Make (W : WEIGHTS) = struct
         if vote_yes then begin
           Ctx.send_master t.ctx Types.Yes;
           t.base <- B_wait { yes = Site_id.Set.empty };
-          arm_base_timer t ~mult_t:3 ~label:"w"
+          arm_base_timer t ~mult_t:3 ~label:(Label.Static "w")
         end
         else begin
           Ctx.send_master t.ctx Types.No;
@@ -205,7 +206,7 @@ module Make (W : WEIGHTS) = struct
     | Site.Slave_role _, B_wait _, Types.Prepare ->
         Ctx.send_master t.ctx Types.Ack;
         t.base <- B_prepared { acks = Site_id.Set.empty };
-        arm_base_timer t ~mult_t:3 ~label:"p"
+        arm_base_timer t ~mult_t:3 ~label:(Label.Static "p")
     (* commands, for either role *)
     | _, (B_initial | B_wait _ | B_prepared _), Types.Commit_cmd ->
         finish t Types.Commit ~reason:"commit command"

@@ -43,6 +43,7 @@ type result = {
   net_stats : Network.stats;
   trace : Trace.t;
   finished_at : Vtime.t;
+  events_run : int;
 }
 
 let vote_of config site =
@@ -84,11 +85,12 @@ let run ?tap (module P : Site.S) config =
   List.iter
     (fun (site, at) ->
       ignore
-        (Engine.schedule_at engine ~at ~label:"crash" (fun () ->
+        (Engine.schedule_at engine ~at ~label:(Label.Static "crash") (fun () ->
              Network.crash net site)))
     config.crashes;
   ignore
-    (Engine.schedule_at engine ~at:config.start_at ~label:"request" (fun () ->
+    (Engine.schedule_at engine ~at:config.start_at
+       ~label:(Label.Static "request") (fun () ->
          P.begin_transaction sites.(0)));
   Engine.run ~until:config.horizon engine;
   let site_results =
@@ -110,6 +112,7 @@ let run ?tap (module P : Site.S) config =
     net_stats = Network.stats net;
     trace;
     finished_at = Engine.now engine;
+    events_run = Engine.events_run engine;
   }
 
 let site_result result site = result.sites.(Site_id.to_int site - 1)

@@ -41,6 +41,8 @@ type result = {
   net_stats : Network.stats;
   trace : Trace.t;
   finished_at : Vtime.t;  (** virtual time when the run quiesced *)
+  events_run : int;
+      (** simulator events executed — the engine-bench denominator *)
 }
 
 val run :

@@ -79,7 +79,7 @@ struct
     | Master M_initial ->
         Ctx.broadcast_slaves t.ctx Types.Xact;
         t.machine <- Master (M_wait { yes = Site_id.Set.empty });
-        Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:"w1-timeout" (fun () ->
+        Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:(Label.Static "w1-timeout") (fun () ->
             match t.machine with
             | Master (M_wait _) -> master_abort t ~reason:"w1 timeout -> abort"
             | Master (M_initial | M_prepared _ | M_committed | M_aborted)
@@ -94,7 +94,7 @@ struct
         if Site_id.Set.cardinal yes = Ctx.n t.ctx - 1 then begin
           Ctx.broadcast_slaves t.ctx Types.Prepare;
           t.machine <- Master (M_prepared { acks = Site_id.Set.empty });
-          Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:"p1-timeout"
+          Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:(Label.Static "p1-timeout")
             (fun () ->
               match t.machine with
               | Master (M_prepared _) -> (
@@ -141,7 +141,7 @@ struct
         if vote_yes then begin
           Ctx.send_master t.ctx Types.Yes;
           t.machine <- Slave { vote_yes; state = S_wait };
-          Ctx.Timer_slot.set t.ctx t.timer ~mult_t:3 ~label:"w-timeout" (fun () ->
+          Ctx.Timer_slot.set t.ctx t.timer ~mult_t:3 ~label:(Label.Static "w-timeout") (fun () ->
               match t.machine with
               | Slave { state = S_wait; _ } ->
                   slave_finish t ~vote_yes ~decision:Types.Abort
@@ -157,7 +157,7 @@ struct
     | S_wait, Types.Prepare ->
         Ctx.send_master t.ctx Types.Ack;
         t.machine <- Slave { vote_yes; state = S_prepared };
-        Ctx.Timer_slot.set t.ctx t.timer ~mult_t:3 ~label:"p-timeout" (fun () ->
+        Ctx.Timer_slot.set t.ctx t.timer ~mult_t:3 ~label:(Label.Static "p-timeout") (fun () ->
             match t.machine with
             | Slave { state = S_prepared; _ } ->
                 slave_finish t ~vote_yes ~decision:Types.Commit

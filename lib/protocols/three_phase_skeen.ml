@@ -84,7 +84,7 @@ let rec start_termination t ~why =
       t.terminating <- Some (Collecting { answers = Site_id.Map.empty });
       Ctx.broadcast_all t.ctx
         (Types.State_inquiry { coordinator = Ctx.self t.ctx });
-      Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:"term-collect"
+      Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:(Label.Static "term-collect")
         (fun () -> close_collection t)
 
 and close_collection t =
@@ -119,7 +119,7 @@ and close_collection t =
         else begin
           Site_id.Set.iter (fun site -> Ctx.send t.ctx site Types.Prepare) waiters;
           t.terminating <- Some (Repreparing { pending = waiters });
-          Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:"term-reprepare"
+          Ctx.Timer_slot.set t.ctx t.timer ~mult_t:2 ~label:(Label.Static "term-reprepare")
             (fun () -> finish_reprepare t)
         end
       end
@@ -135,14 +135,15 @@ and finish_reprepare t =
 let arm_base_timer t ~mult_t ~label =
   Ctx.Timer_slot.set t.ctx t.timer ~mult_t ~label (fun () ->
       if t.terminating = None then
-        start_termination t ~why:(label ^ " timeout"))
+        (* forced only when the timeout actually fires *)
+        start_termination t ~why:(Label.force label ^ " timeout"))
 
 let begin_transaction t =
   match (t.role, t.base) with
   | Site.Master_role, B_initial ->
       Ctx.broadcast_slaves t.ctx Types.Xact;
       t.base <- B_wait { yes = Site_id.Set.empty };
-      arm_base_timer t ~mult_t:2 ~label:"w1"
+      arm_base_timer t ~mult_t:2 ~label:(Label.Static "w1")
   | Site.Master_role, (B_wait _ | B_prepared _ | B_committed | B_aborted)
   | Site.Slave_role _, _ ->
       ()
@@ -156,7 +157,7 @@ let on_msg t (envelope : Types.msg Network.envelope) =
       if Site_id.Set.cardinal yes = n - 1 then begin
         Ctx.broadcast_slaves t.ctx Types.Prepare;
         t.base <- B_prepared { acks = Site_id.Set.empty };
-        arm_base_timer t ~mult_t:2 ~label:"p1"
+        arm_base_timer t ~mult_t:2 ~label:(Label.Static "p1")
       end
       else t.base <- B_wait { yes }
   | Site.Master_role, B_wait _, Types.No ->
@@ -172,7 +173,7 @@ let on_msg t (envelope : Types.msg Network.envelope) =
       if vote_yes then begin
         Ctx.send_master t.ctx Types.Yes;
         t.base <- B_wait { yes = Site_id.Set.empty };
-        arm_base_timer t ~mult_t:3 ~label:"w"
+        arm_base_timer t ~mult_t:3 ~label:(Label.Static "w")
       end
       else begin
         Ctx.send_master t.ctx Types.No;
@@ -184,7 +185,7 @@ let on_msg t (envelope : Types.msg Network.envelope) =
          termination. *)
       Ctx.send t.ctx envelope.src Types.Ack;
       t.base <- B_prepared { acks = Site_id.Set.empty };
-      if t.terminating = None then arm_base_timer t ~mult_t:3 ~label:"p"
+      if t.terminating = None then arm_base_timer t ~mult_t:3 ~label:(Label.Static "p")
   (* decisions, from the master or any terminator *)
   | _, (B_initial | B_wait _ | B_prepared _), Types.Commit_cmd ->
       finish t Types.Commit ~reason:"commit command"

@@ -2,94 +2,151 @@ type rank = Delivery | Timer | Background
 
 let rank_code = function Delivery -> 0 | Timer -> 1 | Background -> 2
 
-type handle = { mutable live : bool }
-
+(* One block per scheduled event: the handle IS the event (the old
+   separate handle record was a second allocation per schedule).  The
+   [(rank, seq)] tie-break is packed into a single immediate int so the
+   heap ordering is two int comparisons, no closure, no field chase
+   through a nested record.  [at] stays separate because it may be
+   [Vtime.infinity] (= max_int) and cannot share a word. *)
 type event = {
   at : Vtime.t;
-  code : int;
-  seq : int;
-  label : string;
+  key : int;  (* (rank_code lsl 60) lor seq; seq < 2^60 *)
+  mutable live : bool;
+  label : Label.t;
   action : unit -> unit;
-  handle : handle;
 }
+
+type handle = event
+
+let key_bits = 60
+
+(* [Vtime.t] is an int by its public definition, so these compare as
+   unboxed ints. *)
+let[@inline] precedes a b = a.at < b.at || (a.at = b.at && a.key < b.key)
+
+let dummy =
+  {
+    at = Vtime.zero;
+    key = 0;
+    live = false;
+    label = Label.Static "<none>";
+    action = ignore;
+  }
 
 type t = {
   mutable clock : Vtime.t;
-  queue : event Heap.t;
+  (* Monomorphic binary min-heap with [precedes] inlined at each sift
+     step.  The generic polymorphic {!Heap} stays in the library as the
+     fallback; this engine no longer pays its closure indirection. *)
+  mutable heap : event array;
+  mutable size : int;
   trace : Trace.t;
   mutable next_seq : int;
   mutable executed : int;
-  mutable live_pending : int;
 }
-
-let compare_event a b =
-  let c = Vtime.compare a.at b.at in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.code b.code in
-    if c <> 0 then c else Int.compare a.seq b.seq
 
 let create ?trace () =
   let trace = match trace with Some t -> t | None -> Trace.create () in
   {
     clock = Vtime.zero;
-    queue = Heap.create ~cmp:compare_event ();
+    heap = [||];
+    size = 0;
     trace;
     next_seq = 0;
     executed = 0;
-    live_pending = 0;
   }
 
 let now t = t.clock
 
 let trace t = t.trace
 
-let pending t = t.live_pending
+(* Cancelled events stay in the heap and are skipped at pop time, so
+   [pending] counts queued events including not-yet-drained cancelled
+   ones; it reaches zero exactly when the queue is exhausted. *)
+let pending t = t.size
 
 let events_run t = t.executed
+
+let heap_push t event =
+  (if t.size = Array.length t.heap then
+     let heap = Array.make (max 16 (2 * t.size)) dummy in
+     Array.blit t.heap 0 heap 0 t.size;
+     t.heap <- heap);
+  let heap = t.heap in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let sifting = ref true in
+  while !sifting && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let p = Array.unsafe_get heap parent in
+    if precedes event p then (
+      Array.unsafe_set heap !i p;
+      i := parent)
+    else sifting := false
+  done;
+  Array.unsafe_set heap !i event
+
+(* Caller checks [t.size > 0]. *)
+let heap_pop t =
+  let heap = t.heap in
+  let root = Array.unsafe_get heap 0 in
+  let n = t.size - 1 in
+  t.size <- n;
+  let last = Array.unsafe_get heap n in
+  Array.unsafe_set heap n dummy;
+  if n > 0 then (
+    let i = ref 0 in
+    let sifting = ref true in
+    while !sifting do
+      let l = (2 * !i) + 1 in
+      if l >= n then sifting := false
+      else
+        let r = l + 1 in
+        let c =
+          if r < n && precedes (Array.unsafe_get heap r) (Array.unsafe_get heap l)
+          then r
+          else l
+        in
+        let child = Array.unsafe_get heap c in
+        if precedes child last then (
+          Array.unsafe_set heap !i child;
+          i := c)
+        else sifting := false
+    done;
+    Array.unsafe_set heap !i last);
+  root
 
 let schedule_at t ?(rank = Background) ~at ~label action =
   if Vtime.( < ) at t.clock then
     invalid_arg
       (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Vtime.pp at
          Vtime.pp t.clock);
-  let handle = { live = true } in
   let event =
-    { at; code = rank_code rank; seq = t.next_seq; label; action; handle }
+    { at; key = (rank_code rank lsl key_bits) lor t.next_seq; live = true;
+      label; action }
   in
   t.next_seq <- t.next_seq + 1;
-  t.live_pending <- t.live_pending + 1;
-  Heap.push t.queue event;
-  handle
+  heap_push t event;
+  event
 
 let schedule t ?rank ~delay ~label action =
   schedule_at t ?rank ~at:(Vtime.add t.clock delay) ~label action
 
-let cancel handle =
-  handle.live <- false
+let cancel handle = handle.live <- false
 
 let cancelled handle = not handle.live
 
-(* Cancelled events stay in the heap and are skipped at pop time, so
-   [pending] counts queued events including not-yet-drained cancelled
-   ones; it reaches zero exactly when the queue is exhausted. *)
-
-let rec next_live t =
-  match Heap.pop t.queue with
-  | None -> None
-  | Some event ->
-      t.live_pending <- t.live_pending - 1;
-      if event.handle.live then Some event else next_live t
-
-let step t =
-  match next_live t with
-  | None -> false
-  | Some event ->
+let rec step t =
+  if t.size = 0 then false
+  else
+    let event = heap_pop t in
+    if not event.live then step t
+    else (
       t.clock <- event.at;
-      event.handle.live <- false;
+      event.live <- false;
       t.executed <- t.executed + 1;
       event.action ();
-      true
+      true)
 
 let default_max_events = 10_000_000
 
@@ -97,11 +154,11 @@ let run ?(until = Vtime.infinity) ?(max_events = default_max_events) t =
   let budget = ref max_events in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Heap.peek t.queue with
-    | None -> continue := false
-    | Some event when Vtime.( < ) until event.at -> continue := false
-    | Some _ ->
-        if step t then decr budget else continue := false
+    if t.size = 0 then continue := false
+    else if Vtime.( < ) until (Array.unsafe_get t.heap 0).at then
+      continue := false
+    else if step t then decr budget
+    else continue := false
   done;
   if !budget = 0 then
     Trace.addf t.trace ~at:t.clock ~topic:"engine"

@@ -4,7 +4,12 @@
     makes the paper's timing arguments exact: a timeout of length [2T]
     fires only if no message arriving at or before [now + 2T] preempts
     it, because at equal timestamps {!rank} [Delivery] events run before
-    [Timer] events.  The sequence number makes runs deterministic. *)
+    [Timer] events.  The sequence number makes runs deterministic.
+
+    The hot path is allocation-lean (see DESIGN.md "Hot-path allocation
+    policy"): one event block per schedule, a packed immediate-int
+    [(rank, seq)] tie-break compared inline in a monomorphic heap, and
+    {!Label.t} labels that cost nothing unless rendered. *)
 
 type t
 
@@ -34,12 +39,14 @@ val events_run : t -> int
 (** Number of events executed so far. *)
 
 val schedule :
-  t -> ?rank:rank -> delay:Vtime.t -> label:string -> (unit -> unit) -> handle
+  t -> ?rank:rank -> delay:Vtime.t -> label:Label.t -> (unit -> unit) -> handle
 (** [schedule t ~delay ~label f] runs [f] at time [now t + delay].
-    [rank] defaults to [Background]. *)
+    [rank] defaults to [Background].  Pass [Label.Static "literal"] —
+    a constant constructor application is static data, so the label is
+    free; use [Label.Dynamic] only for genuinely computed labels. *)
 
 val schedule_at :
-  t -> ?rank:rank -> at:Vtime.t -> label:string -> (unit -> unit) -> handle
+  t -> ?rank:rank -> at:Vtime.t -> label:Label.t -> (unit -> unit) -> handle
 (** Absolute-time variant.  @raise Invalid_argument if [at] is in the
     past. *)
 

@@ -1,0 +1,5 @@
+type t = Static of string | Dynamic of (unit -> string)
+
+let force = function Static s -> s | Dynamic f -> f ()
+
+let pp fmt t = Format.pp_print_string fmt (force t)

@@ -1,0 +1,21 @@
+(** Event labels that cost nothing on the hot path.
+
+    Engine call sites used to pay for a label string per scheduled
+    event even when tracing was off.  A [Label.t] keeps the common
+    case free: [Static "net-hop"] with a literal argument is lifted to
+    static data by the compiler (zero allocation per call), and
+    [Dynamic f] defers the formatting work until something actually
+    reads the label — which only the runaway-guard diagnostics and
+    debuggers do. *)
+
+type t =
+  | Static of string
+      (** Use with a string literal; the ~15 fixed engine labels
+          ("net-hop", "net-bounce", "w1-timeout", "crash", ...). *)
+  | Dynamic of (unit -> string)
+      (** Forced only when the label is rendered; never on schedule. *)
+
+val force : t -> string
+(** Render the label. [Static s] returns [s]; [Dynamic f] calls [f]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,42 +1,119 @@
 type entry = { at : Vtime.t; topic : string; text : string }
 
-type t = { enabled : bool; mutable rev_entries : entry list; mutable count : int }
+(* A bounded ring buffer.  [data] grows by doubling until it reaches
+   [capacity], then wraps: entry number [i] (0-based since creation)
+   lives at [i mod capacity], so the newest [capacity] entries are
+   retained and older ones are overwritten.  [appended] is the total
+   ever appended — [length] keeps its historical "number of adds"
+   meaning even after wrapping. *)
+type t = {
+  enabled : bool;
+  capacity : int;
+  mutable data : entry array;
+  mutable appended : int;
+}
 
-let create ?(enabled = true) () = { enabled; rev_entries = []; count = 0 }
+let default_capacity = 65536
+
+let create ?(enabled = true) ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { enabled; capacity; data = [||]; appended = 0 }
 
 let enabled t = t.enabled
 
+let capacity t = t.capacity
+
+let length t = t.appended
+
+let retained t = min t.appended t.capacity
+
+let dropped t = t.appended - retained t
+
 let add t ~at ~topic text =
   if t.enabled then begin
-    t.rev_entries <- { at; topic; text } :: t.rev_entries;
-    t.count <- t.count + 1
+    let entry = { at; topic; text } in
+    let cap = Array.length t.data in
+    (if t.appended = cap && cap < t.capacity then begin
+       (* still growing: double, seeded with [entry] so no dummy needed *)
+       let data = Array.make (min t.capacity (max 64 (2 * cap))) entry in
+       Array.blit t.data 0 data 0 cap;
+       t.data <- data
+     end);
+    t.data.(t.appended mod Array.length t.data) <- entry;
+    t.appended <- t.appended + 1
   end
 
+(* The disabled branch must consume the format arguments without
+   touching any real formatter: ikfprintf never writes, but it still
+   needs a formatter argument, and handing it [std_formatter] (as an
+   earlier revision did) pins the shared stdout formatter into the
+   fast path.  A dedicated null formatter keeps the no-op pure. *)
+let null_formatter = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
 let addf t ~at ~topic fmt =
-  if t.enabled then
-    Format.kasprintf (fun text -> add t ~at ~topic text) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.std_formatter fmt
+  if t.enabled then Format.kasprintf (fun text -> add t ~at ~topic text) fmt
+  else Format.ikfprintf (fun _ -> ()) null_formatter fmt
 
-let entries t = List.rev t.rev_entries
+(* Oldest retained entry is number [dropped t]; iteration walks entry
+   numbers forward and indexes mod the array length — no List.rev. *)
 
-let length t = t.count
+let get t i = t.data.(i mod Array.length t.data)
+
+let iter f t =
+  for i = dropped t to t.appended - 1 do
+    f (get t i)
+  done
+
+(* Build oldest-first lists by consing newest-first. *)
+let entries t =
+  let acc = ref [] in
+  for i = t.appended - 1 downto dropped t do
+    acc := get t i :: !acc
+  done;
+  !acc
 
 let filter ~topic t =
-  List.filter (fun e -> String.equal e.topic topic) (entries t)
+  let acc = ref [] in
+  for i = t.appended - 1 downto dropped t do
+    let e = get t i in
+    if String.equal e.topic topic then acc := e :: !acc
+  done;
+  !acc
 
+(* Index-based substring search: the old version allocated a fresh
+   [String.sub] per candidate position. *)
 let contains_substring haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   if nn = 0 then true
-  else
-    let rec scan i =
-      if i + nn > nh then false
-      else if String.equal (String.sub haystack i nn) needle then true
-      else scan (i + 1)
-    in
-    scan 0
+  else if nn > nh then false
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    let last = nh - nn in
+    while (not !found) && !i <= last do
+      let j = ref 0 in
+      while
+        !j < nn
+        && Char.equal
+             (String.unsafe_get haystack (!i + !j))
+             (String.unsafe_get needle !j)
+      do
+        incr j
+      done;
+      if !j = nn then found := true else incr i
+    done;
+    !found
+  end
 
 let find t ~pattern =
-  List.find_opt (fun e -> contains_substring e.text pattern) (entries t)
+  let result = ref None in
+  let i = ref (dropped t) in
+  while Option.is_none !result && !i < t.appended do
+    let e = get t !i in
+    if contains_substring e.text pattern then result := Some e;
+    incr i
+  done;
+  !result
 
 let mem t ~pattern = Option.is_some (find t ~pattern)
 
@@ -46,4 +123,7 @@ let pp_entry fmt e =
     e.topic e.text
 
 let pp fmt t =
-  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) (entries t)
+  if dropped t > 0 then
+    Format.fprintf fmt "... (%d earlier entries dropped by the ring)@."
+      (dropped t);
+  iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) t

@@ -3,7 +3,12 @@
     Every layer of the stack (network, protocol actors, database) appends
     timestamped entries tagged with a topic.  Traces make the paper's
     counterexamples inspectable: the example programs replay them
-    entry-by-entry. *)
+    entry-by-entry.
+
+    Storage is a bounded ring buffer: the newest {!capacity} entries
+    are retained, older ones are overwritten, and all read paths
+    iterate forward over the ring (no per-call [List.rev]).  Disabled
+    traces are pure no-ops on every write path. *)
 
 type entry = {
   at : Vtime.t;
@@ -13,11 +18,19 @@ type entry = {
 
 type t
 
-val create : ?enabled:bool -> unit -> t
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
 (** [create ()] is an empty trace.  With [~enabled:false], {!add} is a
-    no-op — sweeps use disabled traces to stay allocation-light. *)
+    no-op — sweeps use disabled traces to stay allocation-light.
+    [capacity] bounds retention (default 65536 entries).
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val enabled : t -> bool
+
+val capacity : t -> int
+
+val dropped : t -> int
+(** Entries overwritten by the ring so far; [0] until the trace
+    outgrows its capacity. *)
 
 val add : t -> at:Vtime.t -> topic:string -> string -> unit
 
@@ -31,15 +44,20 @@ val addf :
     trace is disabled. *)
 
 val entries : t -> entry list
-(** All entries, in append (chronological) order. *)
+(** Retained entries, in append (chronological) order. *)
+
+val iter : (entry -> unit) -> t -> unit
+(** Oldest retained entry first; allocates nothing. *)
 
 val length : t -> int
+(** Total entries ever appended (retained + dropped). *)
 
 val filter : topic:string -> t -> entry list
 (** Entries whose topic equals [topic]. *)
 
 val find : t -> pattern:string -> entry option
-(** First entry whose text contains [pattern] as a substring. *)
+(** First retained entry whose text contains [pattern] as a
+    substring. *)
 
 val mem : t -> pattern:string -> bool
 

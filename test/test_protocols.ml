@@ -622,6 +622,31 @@ let test_runner_trace_toggle () =
   check Alcotest.bool "trace recorded" true (Trace.length on.trace > 0);
   check Alcotest.int "trace suppressed" 0 (Trace.length off.trace)
 
+let test_runner_deterministic_replay () =
+  (* Two runs of the same seeded config must be indistinguishable: the
+     same number of engine events and byte-identical rendered traces.
+     This pins down the optimized engine/trace path — any hidden
+     nondeterminism (hash order, physical time, allocation-dependent
+     ordering) would show up here. *)
+  let cfg =
+    {
+      (config ~n:5
+         ~partition:
+           (partition ~heals_after:3000 ~g2:[ 4; 5 ] ~at:2100 ~n:5 ())
+         ~delay:(Delay.full ~t_max:t_unit) ())
+      with
+      Runner.trace_enabled = true;
+    }
+  in
+  let a = Runner.run (module Three_phase_skeen) cfg in
+  let b = Runner.run (module Three_phase_skeen) cfg in
+  check Alcotest.int "same events_run" a.Runner.events_run
+    b.Runner.events_run;
+  check Alcotest.bool "ran a nontrivial schedule" true
+    (a.Runner.events_run > 0);
+  let render (r : Runner.result) = Format.asprintf "%a" Trace.pp r.trace in
+  check Alcotest.string "byte-identical traces" (render a) (render b)
+
 (* ------------------------------------------------------------------ *)
 (* Ctx plumbing                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -655,15 +680,15 @@ let test_ctx_timer_slot () =
   let engine, ctx = make_ctx () in
   let slot = Ctx.Timer_slot.create () in
   let fired = ref [] in
-  Ctx.Timer_slot.set ctx slot ~mult_t:2 ~label:"a" (fun () -> fired := "a" :: !fired);
+  Ctx.Timer_slot.set ctx slot ~mult_t:2 ~label:(Label.Static "a") (fun () -> fired := "a" :: !fired);
   check Alcotest.bool "armed" true (Ctx.Timer_slot.armed slot);
   (* Resetting replaces the pending timer. *)
-  Ctx.Timer_slot.set ctx slot ~mult_t:3 ~label:"b" (fun () -> fired := "b" :: !fired);
+  Ctx.Timer_slot.set ctx slot ~mult_t:3 ~label:(Label.Static "b") (fun () -> fired := "b" :: !fired);
   Engine.run engine;
   check Alcotest.(list string) "only b fired" [ "b" ] !fired;
   check Alcotest.int "at 3T" 3000 (Engine.now engine);
   check Alcotest.bool "disarmed after fire" false (Ctx.Timer_slot.armed slot);
-  Ctx.Timer_slot.set ctx slot ~mult_t:1 ~label:"c" (fun () -> fired := "c" :: !fired);
+  Ctx.Timer_slot.set ctx slot ~mult_t:1 ~label:(Label.Static "c") (fun () -> fired := "c" :: !fired);
   Ctx.Timer_slot.cancel slot;
   Engine.run engine;
   check Alcotest.(list string) "cancel works" [ "b" ] !fired
@@ -757,6 +782,8 @@ let () =
           Alcotest.test_case "horizon cutoff" `Quick test_runner_horizon_cuts_off;
           Alcotest.test_case "crash exclusion" `Quick test_runner_crash_exclusion;
           Alcotest.test_case "trace toggle" `Quick test_runner_trace_toggle;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_runner_deterministic_replay;
         ] );
       ( "ctx",
         [

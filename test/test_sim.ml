@@ -176,6 +176,106 @@ let test_trace_disabled () =
   Trace.addf t ~at:Vtime.zero ~topic:"x" "ignored %d" 1;
   check Alcotest.int "no entries" 0 (Trace.length t)
 
+let test_trace_addf_disabled_no_side_effects () =
+  (* The disabled branch must not render its arguments at all: a %t
+     printer would reach the sink formatter if ikfprintf were wired to
+     std_formatter. *)
+  let t = Trace.create ~enabled:false () in
+  let rendered = ref false in
+  Trace.addf t ~at:Vtime.zero ~topic:"x" "%t"
+    (fun _ -> rendered := true);
+  check Alcotest.bool "printer never called" false !rendered;
+  check Alcotest.int "no entries" 0 (Trace.length t)
+
+let test_trace_ring_wrap () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.add t ~at:(Vtime.of_int i) ~topic:"x" (string_of_int i)
+  done;
+  check Alcotest.int "length counts every append" 10 (Trace.length t);
+  check Alcotest.int "capacity" 4 (Trace.capacity t);
+  check Alcotest.int "dropped" 6 (Trace.dropped t);
+  check
+    Alcotest.(list string)
+    "entries keep the newest, oldest-first"
+    [ "7"; "8"; "9"; "10" ]
+    (List.map (fun (e : Trace.entry) -> e.text) (Trace.entries t));
+  let seen = ref [] in
+  Trace.iter (fun e -> seen := e.Trace.text :: !seen) t;
+  check
+    Alcotest.(list string)
+    "iter matches entries" [ "7"; "8"; "9"; "10" ] (List.rev !seen);
+  check Alcotest.bool "old entry evicted" false (Trace.mem t ~pattern:"3");
+  check Alcotest.bool "new entry retained" true (Trace.mem t ~pattern:"9")
+
+let test_trace_no_wrap_below_capacity () =
+  let t = Trace.create ~capacity:8 () in
+  for i = 1 to 5 do
+    Trace.add t ~at:(Vtime.of_int i) ~topic:"x" (string_of_int i)
+  done;
+  check Alcotest.int "nothing dropped" 0 (Trace.dropped t);
+  check
+    Alcotest.(list string)
+    "all five, in order"
+    [ "1"; "2"; "3"; "4"; "5" ]
+    (List.map (fun (e : Trace.entry) -> e.text) (Trace.entries t))
+
+let test_trace_substring_search () =
+  let t = Trace.create () in
+  Trace.add t ~at:Vtime.zero ~topic:"x" "abcabd";
+  (* Empty needle: every entry matches. *)
+  check Alcotest.bool "empty pattern" true (Trace.mem t ~pattern:"");
+  (* Overlapping prefixes: the match starts mid-way through a failed
+     candidate, so a scanner that skips past the mismatch would miss it. *)
+  check Alcotest.bool "overlap" true (Trace.mem t ~pattern:"abd");
+  check Alcotest.bool "repeated prefix" true (Trace.mem t ~pattern:"cab");
+  check Alcotest.bool "no match" false (Trace.mem t ~pattern:"abe");
+  check Alcotest.bool "needle longer than hay" false
+    (Trace.mem t ~pattern:"abcabdx");
+  let t2 = Trace.create () in
+  Trace.add t2 ~at:Vtime.zero ~topic:"x" "aaab";
+  check Alcotest.bool "self-overlapping needle" true
+    (Trace.mem t2 ~pattern:"aab")
+
+let test_trace_empty_mem () =
+  let t = Trace.create () in
+  check Alcotest.bool "empty trace, empty pattern" false
+    (Trace.mem t ~pattern:"")
+
+(* ------------------------------------------------------------------ *)
+(* Label                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_label_force () =
+  check Alcotest.string "static" "hello" (Label.force (Label.Static "hello"));
+  let calls = ref 0 in
+  let lazy_label =
+    Label.Dynamic
+      (fun () ->
+        incr calls;
+        "rendered")
+  in
+  check Alcotest.int "not forced at construction" 0 !calls;
+  check Alcotest.string "dynamic" "rendered" (Label.force lazy_label);
+  check Alcotest.int "forced once per call" 1 !calls
+
+let test_label_dynamic_unforced_when_trace_off () =
+  (* Scheduling through a disabled trace must never render the label. *)
+  let trace = Trace.create ~enabled:false () in
+  let e = Engine.create ~trace () in
+  let forced = ref false in
+  ignore
+    (Engine.schedule e ~delay:(Vtime.of_int 1)
+       ~label:
+         (Label.Dynamic
+            (fun () ->
+              forced := true;
+              "expensive"))
+       ignore);
+  Engine.run e;
+  check Alcotest.bool "label never rendered" false !forced;
+  check Alcotest.int "event still ran" 1 (Engine.events_run e)
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -184,9 +284,9 @@ let test_engine_time_order () =
   let e = Engine.create () in
   let out = ref [] in
   let note tag () = out := tag :: !out in
-  ignore (Engine.schedule e ~delay:(Vtime.of_int 30) ~label:"c" (note "c"));
-  ignore (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:"a" (note "a"));
-  ignore (Engine.schedule e ~delay:(Vtime.of_int 20) ~label:"b" (note "b"));
+  ignore (Engine.schedule e ~delay:(Vtime.of_int 30) ~label:(Label.Static "c") (note "c"));
+  ignore (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:(Label.Static "a") (note "a"));
+  ignore (Engine.schedule e ~delay:(Vtime.of_int 20) ~label:(Label.Static "b") (note "b"));
   Engine.run e;
   check Alcotest.(list string) "time order" [ "a"; "b"; "c" ] (List.rev !out);
   check Alcotest.int "clock at last event" 30 (Engine.now e)
@@ -197,13 +297,13 @@ let test_engine_rank_order () =
   let note tag () = out := tag :: !out in
   ignore
     (Engine.schedule e ~rank:Engine.Background ~delay:(Vtime.of_int 10)
-       ~label:"bg" (note "background"));
+       ~label:(Label.Static "bg") (note "background"));
   ignore
-    (Engine.schedule e ~rank:Engine.Timer ~delay:(Vtime.of_int 10) ~label:"t"
+    (Engine.schedule e ~rank:Engine.Timer ~delay:(Vtime.of_int 10) ~label:(Label.Static "t")
        (note "timer"));
   ignore
     (Engine.schedule e ~rank:Engine.Delivery ~delay:(Vtime.of_int 10)
-       ~label:"d" (note "delivery"));
+       ~label:(Label.Static "d") (note "delivery"));
   Engine.run e;
   check
     Alcotest.(list string)
@@ -216,7 +316,7 @@ let test_engine_fifo_within_rank () =
   let out = ref [] in
   for i = 1 to 5 do
     ignore
-      (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:"x" (fun () ->
+      (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:(Label.Static "x") (fun () ->
            out := i :: !out))
   done;
   Engine.run e;
@@ -226,7 +326,7 @@ let test_engine_cancel () =
   let e = Engine.create () in
   let fired = ref false in
   let handle =
-    Engine.schedule e ~delay:(Vtime.of_int 5) ~label:"x" (fun () -> fired := true)
+    Engine.schedule e ~delay:(Vtime.of_int 5) ~label:(Label.Static "x") (fun () -> fired := true)
   in
   Engine.cancel handle;
   check Alcotest.bool "cancelled" true (Engine.cancelled handle);
@@ -235,12 +335,12 @@ let test_engine_cancel () =
 
 let test_engine_schedule_in_past () =
   let e = Engine.create () in
-  ignore (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:"x" (fun () -> ()));
+  ignore (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:(Label.Static "x") (fun () -> ()));
   Engine.run e;
   check Alcotest.int "now" 10 (Engine.now e);
   let raised =
     try
-      ignore (Engine.schedule_at e ~at:(Vtime.of_int 5) ~label:"y" (fun () -> ()));
+      ignore (Engine.schedule_at e ~at:(Vtime.of_int 5) ~label:(Label.Static "y") (fun () -> ()));
       false
     with Invalid_argument _ -> true
   in
@@ -251,9 +351,9 @@ let test_engine_run_until () =
   let count = ref 0 in
   let rec tick () =
     incr count;
-    ignore (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:"tick" tick)
+    ignore (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:(Label.Static "tick") tick)
   in
-  ignore (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:"tick" tick);
+  ignore (Engine.schedule e ~delay:(Vtime.of_int 10) ~label:(Label.Static "tick") tick);
   Engine.run ~until:(Vtime.of_int 55) e;
   check Alcotest.int "five ticks" 5 !count;
   (* The sixth tick is still queued, not lost. *)
@@ -264,9 +364,9 @@ let test_engine_run_until () =
 let test_engine_max_events_guard () =
   let e = Engine.create () in
   let rec forever () =
-    ignore (Engine.schedule e ~delay:(Vtime.of_int 1) ~label:"loop" forever)
+    ignore (Engine.schedule e ~delay:(Vtime.of_int 1) ~label:(Label.Static "loop") forever)
   in
-  ignore (Engine.schedule e ~delay:(Vtime.of_int 1) ~label:"loop" forever);
+  ignore (Engine.schedule e ~delay:(Vtime.of_int 1) ~label:(Label.Static "loop") forever);
   Engine.run ~max_events:1000 e;
   check Alcotest.int "stopped by guard" 1000 (Engine.events_run e)
 
@@ -274,10 +374,10 @@ let test_engine_nested_scheduling () =
   let e = Engine.create () in
   let times = ref [] in
   ignore
-    (Engine.schedule e ~delay:(Vtime.of_int 5) ~label:"outer" (fun () ->
+    (Engine.schedule e ~delay:(Vtime.of_int 5) ~label:(Label.Static "outer") (fun () ->
          times := Engine.now e :: !times;
          ignore
-           (Engine.schedule e ~delay:(Vtime.of_int 7) ~label:"inner" (fun () ->
+           (Engine.schedule e ~delay:(Vtime.of_int 7) ~label:(Label.Static "inner") (fun () ->
                 times := Engine.now e :: !times))));
   Engine.run e;
   check Alcotest.(list int) "nested fires at 12" [ 5; 12 ] (List.rev !times)
@@ -289,13 +389,13 @@ let test_engine_same_time_nested () =
   let e = Engine.create () in
   let out = ref [] in
   ignore
-    (Engine.schedule e ~delay:(Vtime.of_int 5) ~label:"a" (fun () ->
+    (Engine.schedule e ~delay:(Vtime.of_int 5) ~label:(Label.Static "a") (fun () ->
          out := "a" :: !out;
          ignore
-           (Engine.schedule e ~delay:Vtime.zero ~label:"c" (fun () ->
+           (Engine.schedule e ~delay:Vtime.zero ~label:(Label.Static "c") (fun () ->
                 out := "c" :: !out))));
   ignore
-    (Engine.schedule e ~delay:(Vtime.of_int 5) ~label:"b" (fun () ->
+    (Engine.schedule e ~delay:(Vtime.of_int 5) ~label:(Label.Static "b") (fun () ->
          out := "b" :: !out));
   Engine.run e;
   check Alcotest.(list string) "a b c" [ "a"; "b"; "c" ] (List.rev !out);
@@ -306,11 +406,11 @@ let test_engine_cancel_from_event () =
   let e = Engine.create () in
   let fired = ref false in
   let victim =
-    Engine.schedule e ~delay:(Vtime.of_int 10) ~label:"victim" (fun () ->
+    Engine.schedule e ~delay:(Vtime.of_int 10) ~label:(Label.Static "victim") (fun () ->
         fired := true)
   in
   ignore
-    (Engine.schedule e ~delay:(Vtime.of_int 5) ~label:"assassin" (fun () ->
+    (Engine.schedule e ~delay:(Vtime.of_int 5) ~label:(Label.Static "assassin") (fun () ->
          Engine.cancel victim));
   Engine.run e;
   check Alcotest.bool "victim never fired" false !fired;
@@ -319,7 +419,7 @@ let test_engine_cancel_from_event () =
 let test_engine_events_run_counts () =
   let e = Engine.create () in
   for _ = 1 to 7 do
-    ignore (Engine.schedule e ~delay:(Vtime.of_int 1) ~label:"x" ignore)
+    ignore (Engine.schedule e ~delay:(Vtime.of_int 1) ~label:(Label.Static "x") ignore)
   done;
   check Alcotest.int "pending before" 7 (Engine.pending e);
   Engine.run e;
@@ -335,13 +435,50 @@ let engine_executes_in_time_order =
       List.iter
         (fun d ->
           ignore
-            (Engine.schedule e ~delay:(Vtime.of_int d) ~label:"x" (fun () ->
+            (Engine.schedule e ~delay:(Vtime.of_int d) ~label:(Label.Static "x") (fun () ->
                  seen := Engine.now e :: !seen)))
         delays;
       Engine.run e;
       let seen = List.rev !seen in
       List.sort Int.compare seen = seen
       && List.length seen = List.length delays)
+
+let engine_pops_in_compare_event_order =
+  (* The specialized event heap must execute any schedule in exact
+     [(at, rank, seq)] order — the same total order the generic
+     [compare_event] gave.  Delays are drawn from a tiny range and ranks
+     from all three, so equal-[at] ties are common and the rank and
+     sequence tie-breaks both get exercised. *)
+  QCheck.Test.make ~count:300
+    ~name:"Engine pops in exact (at, rank, seq) order"
+    QCheck.(list (pair (int_bound 3) (int_bound 2)))
+    (fun spec ->
+      let e = Engine.create () in
+      let order = ref [] in
+      List.iteri
+        (fun seq (delay, rank_code) ->
+          let rank =
+            match rank_code with
+            | 0 -> Engine.Delivery
+            | 1 -> Engine.Timer
+            | _ -> Engine.Background
+          in
+          ignore
+            (Engine.schedule e ~rank ~delay:(Vtime.of_int delay)
+               ~label:(Label.Static "x") (fun () -> order := seq :: !order)))
+        spec;
+      Engine.run e;
+      let executed = List.rev !order in
+      let keys = Array.of_list spec in
+      let expected =
+        List.init (List.length spec) Fun.id
+        |> List.sort (fun i j ->
+               let di, ri = keys.(i) and dj, rj = keys.(j) in
+               match compare di dj with
+               | 0 -> ( match compare ri rj with 0 -> compare i j | c -> c)
+               | c -> c)
+      in
+      executed = expected)
 
 let () =
   Alcotest.run "commit_sim"
@@ -376,6 +513,21 @@ let () =
         [
           Alcotest.test_case "order and filter" `Quick test_trace_order_and_filter;
           Alcotest.test_case "disabled is a no-op" `Quick test_trace_disabled;
+          Alcotest.test_case "disabled addf renders nothing" `Quick
+            test_trace_addf_disabled_no_side_effects;
+          Alcotest.test_case "ring wraps at capacity" `Quick
+            test_trace_ring_wrap;
+          Alcotest.test_case "no wrap below capacity" `Quick
+            test_trace_no_wrap_below_capacity;
+          Alcotest.test_case "substring search" `Quick
+            test_trace_substring_search;
+          Alcotest.test_case "empty trace mem" `Quick test_trace_empty_mem;
+        ] );
+      ( "label",
+        [
+          Alcotest.test_case "force" `Quick test_label_force;
+          Alcotest.test_case "dynamic unforced when trace off" `Quick
+            test_label_dynamic_unforced_when_trace_off;
         ] );
       ( "engine",
         [
@@ -398,5 +550,6 @@ let () =
           Alcotest.test_case "event accounting" `Quick
             test_engine_events_run_counts;
           qtest engine_executes_in_time_order;
+          qtest engine_pops_in_compare_event_order;
         ] );
     ]
