@@ -1217,6 +1217,118 @@ let engine_bench ~smoke () =
   row "  wrote BENCH_engine.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Span-recording overhead (BENCH_obs.json)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The obs recorder follows the trace ring's discipline: a cached
+   enabled flag, zero allocation on the off path.  This section prices
+   both sides of that claim — the obs-absent and obs-disabled variants
+   must agree on bytes/event (the hot paths are the same closures), and
+   the obs-on variants show what recording every span and flow costs.
+   A fresh recorder per run is part of the measured on-cost: that is
+   what `tp_sim spans` pays. *)
+
+let obs_bench ~smoke () =
+  section
+    (Printf.sprintf "Obs — span-recording cost per event%s"
+       (if smoke then " (smoke mode)" else ""));
+  let scale n = if smoke then max 1 (n / 20) else n in
+  let measure ~name ~obs ~iters run_once =
+    ignore (run_once ());
+    Gc.full_major ();
+    let bytes0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let events = ref 0 in
+    for _ = 1 to iters do
+      events := !events + run_once ()
+    done;
+    let seconds = Unix.gettimeofday () -. t0 in
+    let bytes1 = Gc.allocated_bytes () in
+    let ev = float_of_int !events in
+    let events_per_sec = ev /. seconds in
+    let bytes_per_event = (bytes1 -. bytes0) /. ev in
+    row "  %-24s obs=%-9s %10.0f ev/s %8.1f B/ev@." name obs events_per_sec
+      bytes_per_event;
+    Export.Obj
+      [
+        ("name", Export.String name);
+        ("obs", Export.String obs);
+        ("iters", Export.Int iters);
+        ("events", Export.Int !events);
+        ("seconds", Export.Float seconds);
+        ("events_per_sec", Export.Float events_per_sec);
+        ("bytes_per_event", Export.Float bytes_per_event);
+      ]
+  in
+  let protocol_config =
+    {
+      (base_config ~n:5 ()) with
+      Runner.partition =
+        partition ~heals_after:(t 3) ~g2:[ 4; 5 ] ~at:2100 ~n:5 ();
+      delay = Delay.full ~t_max:t_unit;
+    }
+  in
+  let module Cluster = Commit_cluster in
+  let cluster_config =
+    {
+      (Cluster.Runtime.default_config ()) with
+      Cluster.Runtime.duration = Vtime.of_int (t 100);
+      drain = Vtime.of_int (t 30);
+      load = 40;
+      bucket = Vtime.of_int (t 25);
+    }
+  in
+  let s1 =
+    measure ~name:"termination-partition" ~obs:"absent" ~iters:(scale 2000)
+      (fun () ->
+        (Runner.run (module Termination.Static) protocol_config)
+          .Runner.events_run)
+  in
+  let s2 =
+    measure ~name:"termination-partition" ~obs:"disabled" ~iters:(scale 2000)
+      (fun () ->
+        (Runner.run ~obs:Obs.disabled (module Termination.Static)
+           protocol_config)
+          .Runner.events_run)
+  in
+  let s3 =
+    measure ~name:"termination-partition" ~obs:"on" ~iters:(scale 2000)
+      (fun () ->
+        (Runner.run ~obs:(Obs.create ()) (module Termination.Static)
+           protocol_config)
+          .Runner.events_run)
+  in
+  let s4 =
+    measure ~name:"cluster-steady" ~obs:"absent" ~iters:(scale 20) (fun () ->
+        (Cluster.Runtime.run cluster_config).Cluster.Runtime.events_run)
+  in
+  let s5 =
+    measure ~name:"cluster-steady" ~obs:"disabled" ~iters:(scale 20) (fun () ->
+        (Cluster.Runtime.run ~obs:Obs.disabled cluster_config)
+          .Cluster.Runtime.events_run)
+  in
+  let s6 =
+    measure ~name:"cluster-steady" ~obs:"on" ~iters:(scale 20) (fun () ->
+        (Cluster.Runtime.run ~obs:(Obs.create ()) cluster_config)
+          .Cluster.Runtime.events_run)
+  in
+  let scenarios = [ s1; s2; s3; s4; s5; s6 ] in
+  let bench_json =
+    Export.Obj
+      [
+        ("smoke", Export.Bool smoke);
+        ("t_unit", Export.Int (Vtime.to_int t_unit));
+        ("scenarios", Export.List scenarios);
+      ]
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Export.to_string bench_json);
+  output_string oc "\n";
+  close_out oc;
+  row "  wrote BENCH_obs.json@.";
+  row "  -> absent vs disabled is the PR's regression gate: same B/ev@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the simulator                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1316,6 +1428,7 @@ let () =
   Format.printf "delay models x seeds (see Scenario.default_grid).@.";
   let smoke = has_flag "--smoke" in
   if has_flag "--engine-only" then engine_bench ~smoke ()
+  else if has_flag "--obs-overhead" then obs_bench ~smoke ()
   else begin
   fig1 ();
   fig2 ();
@@ -1340,6 +1453,7 @@ let () =
   cluster_throughput ();
   parallel_sweeps ();
   engine_bench ~smoke ();
+  obs_bench ~smoke ();
   microbenchmarks ()
   end;
   Format.printf "@.done.@."

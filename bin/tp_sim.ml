@@ -11,6 +11,7 @@
      lemma3   exhaustive Lemma 3 augmentation search
      list     available protocols and subcommands
      run      one scenario, full trace
+     spans    one scenario, exported as span/flow JSON (Perfetto-loadable)
      sweep    a protocol over the default scenario grid (--jobs N domains)
 
    Sweeping subcommands accept --jobs N (N >= 1 domains; default
@@ -104,7 +105,9 @@ let jobs_arg =
         ~doc:
           "Worker domains for the sweep (default: the machine's \
            recommended domain count). Must be >= 1; the result is \
-           identical for every value.")
+           identical for every value. Values above the recommended \
+           domain count are kept, but a stderr warning notes that the \
+           domains will time-slice (expect speedup < 1).")
 
 (* Invalid --jobs gets the same treatment as an invalid timeline: a
    clean message plus a usage line, exit 2. *)
@@ -135,6 +138,43 @@ let crash_arg =
     & info [ "crash" ] ~docv:"SITE:TICKS"
         ~doc:"Crash sites at given instants (e.g. 1:2500,3:4000).")
 
+let spans_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans" ] ~docv:"FILE"
+        ~doc:
+          "Record causal spans and message flows, and write Chrome \
+           trace_event JSON (Perfetto-loadable) to $(docv). The \
+           companion causality DAG goes to $(docv) with a .causality.json \
+           suffix.")
+
+(* Span JSON goes through open_out_bin so the bytes on disk are exactly
+   the bytes Obs emitted — the CI determinism gate cmp(1)s two runs. *)
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let causality_path path =
+  (if Filename.check_suffix path ".json" then Filename.chop_suffix path ".json"
+   else path)
+  ^ ".causality.json"
+
+let write_span_files obs path =
+  write_file path (Obs.to_trace_event_json obs);
+  write_file (causality_path path) (Obs.to_causality_json obs)
+
+(* Satellite of the obs PR: the ring evicting entries used to be
+   silent.  stderr only — stdout stays byte-identical. *)
+let warn_dropped dropped =
+  if dropped > 0 then
+    Printf.eprintf
+      "warning: trace ring dropped %d oldest entries (capacity exceeded); \
+       the printed trace is a suffix of the run\n\
+       %!"
+      dropped
+
 let make_config ~n ~t ~g2 ~at ~heal ~seed ~delay ~no_votes ~pessimistic =
   let t_unit = Vtime.of_int t in
   let base = Runner.default_config ~n ~t_unit () in
@@ -164,7 +204,8 @@ let make_config ~n ~t ~g2 ~at ~heal ~seed ~delay ~no_votes ~pessimistic =
 
 let run_cmd =
   let doc = "Run one transaction under one scenario and print the trace." in
-  let run protocol n t g2 at heal seed delay no_votes pessimistic quiet crashes =
+  let run protocol n t g2 at heal seed delay no_votes pessimistic quiet crashes
+      spans =
     let config =
       make_config ~n ~t ~g2 ~at ~heal ~seed ~delay ~no_votes ~pessimistic
     in
@@ -178,11 +219,14 @@ let run_cmd =
             crashes;
       }
     in
-    let result = Runner.run protocol config in
+    let obs = match spans with Some _ -> Obs.create () | None -> Obs.disabled in
+    let result = Runner.run ~obs protocol config in
     if not quiet then Format.printf "%a@." Trace.pp result.trace;
     Format.printf "%a" Runner.pp_result result;
     let verdict = Verdict.of_result result in
     Format.printf "verdict: %a@." Verdict.pp verdict;
+    Option.iter (write_span_files obs) spans;
+    warn_dropped (Trace.dropped result.trace);
     if Verdict.resilient verdict then 0 else 1
   in
   Cmd.v
@@ -190,7 +234,62 @@ let run_cmd =
     Term.(
       const run $ protocol_arg $ n_arg $ t_arg $ g2_arg $ at_arg $ heal_arg
       $ seed_arg $ delay_arg $ no_votes_arg $ pessimistic_arg $ quiet_arg
-      $ crash_arg)
+      $ crash_arg $ spans_arg)
+
+let spans_cmd =
+  let doc =
+    "Run one scenario with span recording and print the trace_event JSON \
+     (load it into ui.perfetto.dev or chrome://tracing)."
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ ("trace-event", `Trace_event); ("causality", `Causality) ])
+          `Trace_event
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: trace-event (Chrome/Perfetto timeline) or \
+             causality (name-sorted span list + flow-edge DAG).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the JSON to $(docv) instead of stdout.")
+  in
+  let run protocol n t g2 at heal seed delay no_votes pessimistic crashes
+      format out =
+    let config =
+      make_config ~n ~t ~g2 ~at ~heal ~seed ~delay ~no_votes ~pessimistic
+    in
+    let config =
+      {
+        config with
+        Runner.trace_enabled = false;
+        crashes =
+          List.map
+            (fun (s, at) -> (Site_id.of_int s, Vtime.of_int at))
+            crashes;
+      }
+    in
+    let obs = Obs.create () in
+    let (_ : Runner.result) = Runner.run ~obs protocol config in
+    let json =
+      match format with
+      | `Trace_event -> Obs.to_trace_event_json obs
+      | `Causality -> Obs.to_causality_json obs
+    in
+    (match out with None -> print_string json | Some file -> write_file file json);
+    0
+  in
+  Cmd.v
+    (Cmd.info "spans" ~doc)
+    Term.(
+      const run $ protocol_arg $ n_arg $ t_arg $ g2_arg $ at_arg $ heal_arg
+      $ seed_arg $ delay_arg $ no_votes_arg $ pessimistic_arg $ crash_arg
+      $ format_arg $ out_arg)
 
 let sweep_cmd =
   let doc =
@@ -629,7 +728,7 @@ let cluster_cmd =
              of just $(b,--policy).")
   in
   let run protocol n t g2 cuts heals seed delay pessimistic duration drain load
-      window queue_limit policy pause json quiet seeds all_policies jobs =
+      window queue_limit policy pause json quiet seeds all_policies jobs spans =
     let t_unit = Vtime.of_int t in
     let resolve = function
       | `T v -> Vtime.of_int (v * t)
@@ -687,8 +786,11 @@ let cluster_cmd =
     in
     match seeds with
     | [] ->
+        let obs =
+          match spans with Some _ -> Obs.create () | None -> Obs.disabled
+        in
         let report =
-          try Cluster.Runtime.run config
+          try Cluster.Runtime.run ~obs config
           with Invalid_argument msg ->
             Format.eprintf "invalid cluster config: %s@." msg;
             exit 2
@@ -700,10 +802,18 @@ let cluster_cmd =
           if not quiet then
             Format.printf "%a" Cluster.Runtime.pp_timeline report
         end;
+        Option.iter (write_span_files obs) spans;
+        warn_dropped report.Cluster.Runtime.trace_dropped;
         if Cluster.Runtime.atomic report && report.Cluster.Runtime.blocked = 0
         then 0
         else 1
     | seeds ->
+        if spans <> None then begin
+          Format.eprintf
+            "--spans records one runtime; drop --seeds (or pick one seed \
+             with --seed) to export spans@.";
+          exit 2
+        end;
         let jobs = resolve_jobs ~subcommand:"cluster" jobs in
         let grid =
           {
@@ -737,7 +847,7 @@ let cluster_cmd =
       $ cluster_heal_arg $ seed_arg $ delay_arg $ pessimistic_arg
       $ duration_arg $ drain_arg $ load_arg $ window_arg $ queue_limit_arg
       $ policy_arg $ pause_arg $ json_arg $ quiet_arg $ seeds_arg
-      $ all_policies_arg $ jobs_arg)
+      $ all_policies_arg $ jobs_arg $ spans_arg)
 
 let list_cmd =
   let doc = "List available protocols and subcommands." in
@@ -764,6 +874,7 @@ let list_cmd =
         ("lemma3", "exhaustive Lemma 3 augmentation search");
         ("list", "this listing");
         ("run", "one scenario, full trace");
+        ("spans", "one scenario as Perfetto-loadable span/flow JSON");
         ("sweep", "a protocol over the default scenario grid (--jobs N)");
       ];
     Format.printf
@@ -789,5 +900,6 @@ let () =
          lemma3_cmd;
          list_cmd;
          run_cmd;
+         spans_cmd;
          sweep_cmd;
        ]))

@@ -123,6 +123,7 @@ let of_stats (s : Stats.t) =
       ("min", Int s.min);
       ("p50", Int s.p50);
       ("p90", Int s.p90);
+      ("p95", Int s.p95);
       ("p99", Int s.p99);
       ("max", Int s.max);
       ("mean", Float s.mean);

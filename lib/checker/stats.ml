@@ -3,6 +3,7 @@ type t = {
   min : int;
   p50 : int;
   p90 : int;
+  p95 : int;
   p99 : int;
   max : int;
   mean : float;
@@ -27,14 +28,16 @@ let of_list = function
           min = arr.(0);
           p50 = percentile 50.;
           p90 = percentile 90.;
+          p95 = percentile 95.;
           p99 = percentile 99.;
           max = arr.(n - 1);
           mean = float_of_int total /. float_of_int n;
         }
 
 let pp fmt t =
-  Format.fprintf fmt "n=%d min=%d p50=%d p90=%d p99=%d max=%d mean=%.1f"
-    t.count t.min t.p50 t.p90 t.p99 t.max t.mean
+  Format.fprintf fmt
+    "n=%d min=%d p50=%d p90=%d p95=%d p99=%d max=%d mean=%.1f" t.count t.min
+    t.p50 t.p90 t.p95 t.p99 t.max t.mean
 
 module Acc = struct
   module Bucket_map = Map.Make (Int)
@@ -175,6 +178,7 @@ module Acc = struct
           min = acc.acc_min;
           p50 = percentile 50.;
           p90 = percentile 90.;
+          p95 = percentile 95.;
           p99 = percentile 99.;
           max = acc.acc_max;
           mean = float_of_int acc.acc_total /. float_of_int n;
@@ -185,5 +189,6 @@ end
 let pp_in_t ~unit_t fmt t =
   let in_t v = float_of_int v /. float_of_int (Vtime.to_int unit_t) in
   Format.fprintf fmt
-    "n=%-5d min=%.2fT p50=%.2fT p90=%.2fT p99=%.2fT max=%.2fT" t.count
-    (in_t t.min) (in_t t.p50) (in_t t.p90) (in_t t.p99) (in_t t.max)
+    "n=%-5d min=%.2fT p50=%.2fT p90=%.2fT p95=%.2fT p99=%.2fT max=%.2fT"
+    t.count (in_t t.min) (in_t t.p50) (in_t t.p90) (in_t t.p95) (in_t t.p99)
+    (in_t t.max)

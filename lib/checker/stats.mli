@@ -6,6 +6,7 @@ type t = {
   min : int;
   p50 : int;
   p90 : int;
+  p95 : int;
   p99 : int;
   max : int;
   mean : float;

@@ -69,6 +69,9 @@ type report = {
   metrics : Metrics.t;
   net_stats : Network.stats;
   trace : Trace.t;
+  trace_dropped : int;
+      (* entries the bounded trace ring evicted; surfaced as a stderr
+         warning by the CLI, never serialized *)
   events_run : int;
       (* engine events executed; consumed by the bench, never serialized
          so to_json stays byte-identical across core revisions *)
@@ -113,6 +116,8 @@ module Run (P : Site.S) = struct
     engine : Engine.t;
     trace_store : Trace.t;
     tracing : bool;
+    obs : Obs.t;
+    obs_on : bool;  (* cached Obs.enabled *)
     net : wire Network.t;
     stores : Durable_site.t array;
     scheduler : Tm.txn_spec Scheduler.t;
@@ -141,8 +146,17 @@ module Run (P : Site.S) = struct
     Site_id.of_int
       (((Site_id.to_int logical - 1 + (Site_id.to_int master - 1)) mod n) + 1)
 
+  (* Admission-to-settlement lifecycle on track 0: [queued] (if the
+     scheduler deferred it) then the root admission span. *)
+  let obs_seal_track state tid =
+    let at = now state in
+    while Obs.open_depth state.obs ~site:0 ~tid > 0 do
+      Obs.span_end state.obs ~at ~site:0 ~tid
+    done
+
   let rec settle state rt =
     rt.settled <- true;
+    if state.obs_on then obs_seal_track state rt.spec.Tm.tid;
     let at = now state in
     let m = state.metrics in
     let all d = Array.for_all (( = ) (Some d)) rt.decisions in
@@ -184,6 +198,12 @@ module Run (P : Site.S) = struct
   and start state spec master =
     let n = state.config.n in
     let at = now state in
+    if state.obs_on then begin
+      let tid = spec.Tm.tid in
+      if Obs.open_depth state.obs ~site:0 ~tid > 0 then
+        Obs.span_end state.obs ~at ~site:0 ~tid;  (* queued *)
+      Obs.span_begin state.obs ~at ~site:0 ~tid ~cat:"txn" "txn"
+    end;
     Metrics.mark state.metrics ~at "admissions";
     Metrics.observe state.metrics "wait.queue" (Vtime.sub at spec.Tm.start_at);
     Auditor.begin_txn state.auditor ~tid:spec.Tm.tid
@@ -223,7 +243,8 @@ module Run (P : Site.S) = struct
               ~on_reason:(fun r ->
                 Metrics.incr state.metrics ("reason." ^ r);
                 if termination_reason r then rt.terminated <- true)
-              ()
+              ~obs:state.obs
+              ~obs_site:(Site_id.to_int phys) ()
           in
           let role =
             if Site_id.is_master self then Site.Master_role
@@ -278,12 +299,18 @@ module Run (P : Site.S) = struct
         spec
     with
     | `Admit master -> start state spec master
-    | `Enqueued -> ()
+    | `Enqueued ->
+        if state.obs_on then
+          Obs.span_begin state.obs ~at ~site:0 ~tid:spec.Tm.tid
+            ~cat:"lifecycle" "queued"
     | `Rejected ->
+        if state.obs_on then
+          Obs.instant state.obs ~at ~site:0 ~tid:spec.Tm.tid ~cat:"lifecycle"
+            "rejected";
         Metrics.incr state.metrics "txn.rejected";
         Metrics.mark state.metrics ~at "rejections"
 
-  let run config =
+  let run ~obs config =
     if config.load < 1 then invalid_arg "Runtime.run: load must be >= 1";
     if config.window < 1 then invalid_arg "Runtime.run: window must be >= 1";
     if config.amount <= 0 || config.amount >= config.balance then
@@ -294,7 +321,9 @@ module Run (P : Site.S) = struct
     let net =
       Network.create ~engine ~n:config.n ~t_max:config.t_unit ~mode:config.mode
         ~partition:config.timeline ~delay:config.delay ~seed:config.seed
-        ~pp_payload:pp_wire ()
+        ~pp_payload:pp_wire ~obs
+        ~obs_tid:(fun w -> w.wtid)
+        ()
     in
     let metrics = Metrics.create ~bucket:config.bucket ~t_unit:config.t_unit () in
     let horizon = Vtime.add config.duration config.drain in
@@ -304,6 +333,8 @@ module Run (P : Site.S) = struct
         engine;
         trace_store;
         tracing = Trace.enabled trace_store;
+        obs;
+        obs_on = Obs.enabled obs;
         net;
         stores = Array.init config.n (fun _ -> Durable_site.create ());
         scheduler =
@@ -401,6 +432,7 @@ module Run (P : Site.S) = struct
       (Engine.schedule_at engine ~at:config.t_unit ~label:(Label.Static "pump") (fun () ->
            pump_loop ()));
     Engine.run ~until:horizon engine;
+    Obs.close_open_spans obs ~at:(Engine.now engine);
     (* Shutdown accounting. *)
     let blocked = ref 0 in
     Hashtbl.iter
@@ -449,14 +481,15 @@ module Run (P : Site.S) = struct
       metrics;
       net_stats = Network.stats net;
       trace = trace_store;
+      trace_dropped = Trace.dropped trace_store;
       events_run = Engine.events_run engine;
     }
 end
 
-let run config =
+let run ?(obs = Obs.disabled) config =
   let (module P : Site.S) = config.protocol in
   let module R = Run (P) in
-  R.run config
+  R.run ~obs config
 
 let atomic report =
   Auditor.agreement_violations report.auditor = 0

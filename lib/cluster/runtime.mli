@@ -76,13 +76,20 @@ type report = {
   metrics : Metrics.t;
   net_stats : Network.stats;
   trace : Trace.t;
+  trace_dropped : int;
+      (** entries the bounded trace ring evicted during the run; the
+          CLI surfaces a non-zero count as a stderr warning.  Excluded
+          from {!to_json}. *)
   events_run : int;
       (** engine events executed; bench-only, excluded from {!to_json}
           so the JSON stays byte-identical across core revisions *)
 }
 
-val run : config -> report
-(** @raise Invalid_argument on a non-positive load/window or
+val run : ?obs:Obs.t -> config -> report
+(** [obs] (default {!Obs.disabled}) records per-transaction lifecycle
+    spans — queued / admission-to-settlement on track 0, protocol state
+    spans on each physical site's track — plus every message-flow edge.
+    @raise Invalid_argument on a non-positive load/window or
     [amount >= balance]. *)
 
 val atomic : report -> bool

@@ -68,8 +68,11 @@ module Make_full (V : CONFIG) = struct
   let create ctx role =
     let timer = Ctx.Timer_slot.create () in
     match role with
-    | Site.Master_role -> { ctx; timer; machine = Master M_initial }
+    | Site.Master_role ->
+        Ctx.obs_state ctx "q1";
+        { ctx; timer; machine = Master M_initial }
     | Site.Slave_role { vote_yes } ->
+        Ctx.obs_state ctx "q";
         { ctx; timer; machine = Slave { vote_yes; state = S_initial } }
 
   let state_name t =
@@ -95,6 +98,8 @@ module Make_full (V : CONFIG) = struct
     t.machine <-
       Master
         (match decision with Types.Commit -> M_committed | Types.Abort -> M_aborted);
+    Ctx.obs_state t.ctx
+      (match decision with Types.Commit -> "c1" | Types.Abort -> "a1");
     if tell then
       Ctx.broadcast_slaves t.ctx
         (match decision with
@@ -107,6 +112,7 @@ module Make_full (V : CONFIG) = struct
     | Master M_initial ->
         Ctx.broadcast_slaves t.ctx Types.Xact;
         t.machine <- Master (M_wait { yes = Site_id.Set.empty });
+        Ctx.obs_state t.ctx "w1";
         Ctx.Timer_slot.set t.ctx t.timer ~mult_t:Timing.master_timeout_mult
           ~label:(Label.Static "w1-timeout") (fun () ->
             match t.machine with
@@ -143,6 +149,11 @@ module Make_full (V : CONFIG) = struct
 
   let enter_collect t ~ud ~pb =
     t.machine <- Master (M_collect { ud; pb });
+    (* The 5T collection window is a phase of p1, not a new protocol
+       state — the paper keeps the master "in p1" while it gathers
+       probes and UD(prepare)s. *)
+    Ctx.obs_state t.ctx "p1/collect";
+    Ctx.obs_phase t.ctx "collect-window";
     Ctx.Timer_slot.set t.ctx t.timer ~mult_t:V.collect_window_mult
       ~label:(Label.Static "collect-window") (fun () ->
         match t.machine with
@@ -158,6 +169,7 @@ module Make_full (V : CONFIG) = struct
         if Site_id.Set.cardinal yes = Ctx.n t.ctx - 1 then begin
           Ctx.broadcast_slaves t.ctx Types.Prepare;
           t.machine <- Master (M_prepared { acks = Site_id.Set.empty });
+          Ctx.obs_state t.ctx "p1";
           Ctx.Timer_slot.set t.ctx t.timer ~mult_t:Timing.master_timeout_mult
             ~label:(Label.Static "p1-timeout") (fun () ->
               match t.machine with
@@ -182,6 +194,7 @@ module Make_full (V : CONFIG) = struct
           master_decide t Types.Commit ~reason:"fact2-case1" ~tell:true
         else t.machine <- Master (M_prepared { acks })
     | M_collect { ud; pb }, Types.Probe { slave; _ } ->
+        Ctx.obs_instant t.ctx ~cat:"probe" "probe-collected";
         t.machine <- Master (M_collect { ud; pb = Site_id.Set.add slave pb })
     | M_prepared _, Types.Probe _ ->
         (* A slave's p-timer fired early on a fast path with no
@@ -202,8 +215,10 @@ module Make_full (V : CONFIG) = struct
            voted, so nobody can commit. *)
         master_decide t Types.Abort ~reason:"ud-xact" ~tell:true
     | M_prepared _, Types.Prepare ->
+        Ctx.obs_instant t.ctx ~cat:"probe" "ud-prepare";
         enter_collect t ~ud:(Site_id.Set.singleton envelope.dst) ~pb:Site_id.Set.empty
     | M_collect { ud; pb }, Types.Prepare ->
+        Ctx.obs_instant t.ctx ~cat:"probe" "ud-prepare";
         t.machine <- Master (M_collect { ud = Site_id.Set.add envelope.dst ud; pb })
     | ( ( M_initial | M_wait _ | M_prepared _ | M_collect _ | M_committed
         | M_aborted ),
@@ -224,6 +239,8 @@ module Make_full (V : CONFIG) = struct
             | Types.Commit -> S_committed
             | Types.Abort -> S_aborted);
         };
+    Ctx.obs_state t.ctx
+      (match decision with Types.Commit -> "c" | Types.Abort -> "a");
     if tell then
       (* "It will send to all the slaves in G2": the slave does not know
          the boundary, so it sends to everyone; copies addressed across
@@ -234,7 +251,9 @@ module Make_full (V : CONFIG) = struct
         | Types.Abort -> Types.Abort_cmd);
     Ctx.decide t.ctx decision ~reason
 
-  let set_slave t ~vote_yes state = t.machine <- Slave { vote_yes; state }
+  let set_slave t ~vote_yes state =
+    t.machine <- Slave { vote_yes; state };
+    Ctx.obs_state t.ctx (state_name t)
 
   let arm_slave_timer t ~mult_t ~label ~expected f =
     Ctx.Timer_slot.set t.ctx t.timer ~mult_t ~label (fun () ->
@@ -254,6 +273,8 @@ module Make_full (V : CONFIG) = struct
     Ctx.send_master t.ctx
       (Types.Probe { trans_id = Ctx.trans_id t.ctx; slave = Ctx.self t.ctx });
     set_slave t ~vote_yes S_probing;
+    Ctx.obs_phase t.ctx "probe-round";
+    Ctx.obs_instant t.ctx ~cat:"probe" "probe-sent";
     match V.variant with
     | Static -> Ctx.Timer_slot.cancel t.timer
     | Transient ->

@@ -97,6 +97,8 @@ module Run (P : Site.S) = struct
     engine : Engine.t;
     trace_store : Trace.t;
     tracing : bool;
+    obs : Obs.t;
+    obs_on : bool;  (* cached Obs.enabled *)
     net : wire Network.t;
     stores : Durable_site.t array;
     locks : Lock_manager.t array;
@@ -111,6 +113,18 @@ module Run (P : Site.S) = struct
   (* Call sites guard with [state.tracing]. *)
   let trace state fmt =
     Trace.addf state.trace_store ~at:(Engine.now state.engine) ~topic:"tm" fmt
+
+  (* Transaction-lifecycle spans live on track 0 (the manager's own
+     timeline): txn ⊃ lock-wait, protocol.  Sealed when the last site
+     decides, or by [close_open_spans] for transactions still blocked
+     at the horizon. *)
+  let obs_track_done state rt =
+    let at = Engine.now state.engine in
+    while Obs.open_depth state.obs ~site:0 ~tid:rt.spec.tid > 0 do
+      Obs.span_end state.obs ~at ~site:0 ~tid:rt.spec.tid
+    done
+
+  let all_decided rt = not (Array.exists (( = ) None) rt.decisions)
 
   let lock_requests (spec : txn_spec) =
     List.concat_map
@@ -127,6 +141,13 @@ module Run (P : Site.S) = struct
   (* Activation: begin + stage at every site, then start the protocol. *)
   let rec activate state rt =
     rt.granted_at <- Some (Engine.now state.engine);
+    if state.obs_on then begin
+      let at = Engine.now state.engine in
+      if Obs.open_depth state.obs ~site:0 ~tid:rt.spec.tid > 1 then
+        Obs.span_end state.obs ~at ~site:0 ~tid:rt.spec.tid;  (* lock-wait *)
+      Obs.span_begin state.obs ~at ~site:0 ~tid:rt.spec.tid ~cat:"lifecycle"
+        "protocol"
+    end;
     if state.tracing then
       trace state "t%d: all locks granted; starting %s" rt.spec.tid P.name;
     let writes_of site =
@@ -156,10 +177,11 @@ module Run (P : Site.S) = struct
                 (match decision with
                 | Types.Commit -> Durable_site.commit durable ~tid:rt.spec.tid ()
                 | Types.Abort -> Durable_site.abort durable ~tid:rt.spec.tid);
+                if state.obs_on && all_decided rt then obs_track_done state rt;
                 let grants = release_site site in
                 on_grants state grants)
               ~on_reason:(fun _ -> ())
-              ()
+              ~obs:state.obs ()
           in
           let role =
             if Site_id.is_master site then Site.Master_role
@@ -195,6 +217,7 @@ module Run (P : Site.S) = struct
                  rt.decisions.(i) <- Some Types.Abort;
                  rt.decided_ats.(i) <- Some (Engine.now state.engine);
                  Durable_site.abort (store state site) ~tid:rt.spec.tid;
+                 if state.obs_on && all_decided rt then obs_track_done state rt;
                  on_grants state (release_site site)
                end)))
       instances;
@@ -215,6 +238,11 @@ module Run (P : Site.S) = struct
   let kill_victim state rt =
     rt.victim <- true;
     state.deadlocks <- state.deadlocks + 1;
+    if state.obs_on then begin
+      Obs.instant state.obs ~at:(Engine.now state.engine) ~site:0
+        ~tid:rt.spec.tid ~cat:"lifecycle" "deadlock-victim";
+      obs_track_done state rt
+    end;
     if state.tracing then
       trace state "t%d: deadlock victim; released" rt.spec.tid;
     let grants =
@@ -273,6 +301,9 @@ module Run (P : Site.S) = struct
     end
 
   let start_txn state rt =
+    if state.obs_on then
+      Obs.span_begin state.obs ~at:(Engine.now state.engine) ~site:0
+        ~tid:rt.spec.tid ~cat:"txn" "txn";
     let requests = lock_requests rt.spec in
     if requests = [] then activate state rt
     else begin
@@ -286,6 +317,9 @@ module Run (P : Site.S) = struct
       rt.pending_locks <- !waiting;
       if !waiting = 0 then activate state rt
       else begin
+        if state.obs_on then
+          Obs.span_begin state.obs ~at:(Engine.now state.engine) ~site:0
+            ~tid:rt.spec.tid ~cat:"lifecycle" "lock-wait";
         if state.tracing then
           trace state "t%d: waiting for %d locks" rt.spec.tid !waiting;
         (* Waits can only deadlock when a new waiter arrives. *)
@@ -295,7 +329,7 @@ module Run (P : Site.S) = struct
       end
     end
 
-  let run config specs =
+  let run ~obs config specs =
     let tids = List.map (fun s -> s.tid) specs in
     let distinct = List.sort_uniq Int.compare tids in
     if List.length distinct <> List.length tids then
@@ -305,7 +339,9 @@ module Run (P : Site.S) = struct
     let net =
       Network.create ~engine ~n:config.n ~t_max:config.t_unit ~mode:config.mode
         ~partition:config.partition ~delay:config.delay ~seed:config.seed
-        ~pp_payload:pp_wire ()
+        ~pp_payload:pp_wire ~obs
+        ~obs_tid:(fun w -> w.wtid)
+        ()
     in
     let state =
       {
@@ -313,6 +349,8 @@ module Run (P : Site.S) = struct
         engine;
         trace_store;
         tracing = Trace.enabled trace_store;
+        obs;
+        obs_on = Obs.enabled obs;
         net;
         stores =
           Array.init config.n (fun i ->
@@ -382,6 +420,7 @@ module Run (P : Site.S) = struct
              (fun () -> start_txn state rt)))
       specs;
     Engine.run ~until:config.horizon engine;
+    Obs.close_open_spans obs ~at:(Engine.now engine);
     let reports =
       List.map
         (fun spec ->
@@ -441,10 +480,10 @@ module Run (P : Site.S) = struct
     }
 end
 
-let run config specs =
+let run ?(obs = Obs.disabled) config specs =
   let (module P : Site.S) = config.protocol in
   let module R = Run (P) in
-  R.run config specs
+  R.run ~obs config specs
 
 let balance_total report ~prefix =
   Array.fold_left

@@ -85,7 +85,11 @@ type report = {
           over the surviving sites *)
 }
 
-val run : config -> txn_spec list -> report
+val run : ?obs:Obs.t -> config -> txn_spec list -> report
+(** [obs] (default {!Obs.disabled}) records, besides the per-site
+    protocol spans and message flows, a transaction-lifecycle timeline
+    on track 0: a root txn span containing lock-wait and protocol
+    phases, sealed when the last site decides. *)
 
 val balance_total : report -> prefix:string -> int
 (** Sum of the integer values of all keys starting with [prefix] across

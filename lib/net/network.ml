@@ -28,6 +28,9 @@ type 'a t = {
   delay : Delay.t;
   rng : Rng.t;
   pp_payload : Format.formatter -> 'a -> unit;
+  obs : Obs.t;
+  obs_on : bool;  (* cached Obs.enabled: keep the off path allocation-free *)
+  obs_tid : 'a -> int;  (* payload -> transaction-id track for flow edges *)
   dead : bool array;  (* indexed by site id - 1 *)
   mutable handler : (Site_id.t -> 'a delivery -> unit) option;
   mutable tap : ('a event -> unit) option;
@@ -38,7 +41,7 @@ type 'a t = {
 }
 
 let create ~engine ~n ~t_max ?(mode = Optimistic) ?(partition = Partition.none)
-    ?delay ?(seed = 1L) ?pp_payload () =
+    ?delay ?(seed = 1L) ?pp_payload ?(obs = Obs.disabled) ?obs_tid () =
   if n < 2 then invalid_arg "Network.create: need at least two sites";
   if Vtime.( < ) t_max (Vtime.of_int 1) then
     invalid_arg "Network.create: t_max must be at least one tick";
@@ -60,6 +63,9 @@ let create ~engine ~n ~t_max ?(mode = Optimistic) ?(partition = Partition.none)
     delay;
     rng = Rng.create seed;
     pp_payload;
+    obs;
+    obs_on = Obs.enabled obs;
+    obs_tid = (match obs_tid with Some f -> f | None -> fun _ -> 0);
     dead = Array.make n false;
     handler = None;
     tap = None;
@@ -88,6 +94,9 @@ let is_dead t site = t.dead.(Site_id.to_int site - 1)
 
 let crash t site =
   t.dead.(Site_id.to_int site - 1) <- true;
+  if t.obs_on then
+    Obs.instant t.obs ~at:(Engine.now t.engine) ~site:(Site_id.to_int site)
+      ~tid:0 ~cat:"net" "crash";
   if t.tracing then
     Trace.addf t.trace ~at:(Engine.now t.engine) ~topic:"net" "%a crashed"
       Site_id.pp site
@@ -108,9 +117,13 @@ let dispatch t site delivery =
    no tap installed; the matches below only build the event when a tap
    is listening. *)
 
-let deliver t envelope =
+let deliver t envelope flow =
   if is_dead t envelope.dst then begin
     t.lost <- t.lost + 1;
+    if t.obs_on then
+      Obs.instant t.obs ~at:(Engine.now t.engine)
+        ~site:(Site_id.to_int envelope.dst) ~tid:(t.obs_tid envelope.payload)
+        ~cat:"net" "lost";
     if t.tracing then
       trace_net t "%a -> %a %a: lost (destination dead)" Site_id.pp
         envelope.src Site_id.pp envelope.dst t.pp_payload envelope.payload;
@@ -120,6 +133,10 @@ let deliver t envelope =
   end
   else begin
     t.delivered <- t.delivered + 1;
+    if flow <> 0 then
+      Obs.flow_end t.obs ~at:(Engine.now t.engine)
+        ~site:(Site_id.to_int envelope.dst) ~tid:(t.obs_tid envelope.payload)
+        flow;
     if t.tracing then
       trace_net t "%a -> %a: deliver %a" Site_id.pp envelope.src Site_id.pp
         envelope.dst t.pp_payload envelope.payload;
@@ -129,7 +146,7 @@ let deliver t envelope =
     dispatch t envelope.dst (Msg envelope)
   end
 
-let bounce t envelope =
+let bounce t envelope flow =
   if is_dead t envelope.src then begin
     t.lost <- t.lost + 1;
     if t.tracing then
@@ -141,6 +158,12 @@ let bounce t envelope =
   end
   else begin
     t.bounced <- t.bounced + 1;
+    (* The returned-to-sender edge: the flow that left [src] comes back
+       to [src]'s own timeline as UD(msg). *)
+    if flow <> 0 then
+      Obs.flow_end t.obs ~at:(Engine.now t.engine)
+        ~site:(Site_id.to_int envelope.src) ~tid:(t.obs_tid envelope.payload)
+        flow;
     if t.tracing then
       trace_net t "return UD(%a -> %a: %a) to sender" Site_id.pp envelope.src
         Site_id.pp envelope.dst t.pp_payload envelope.payload;
@@ -154,12 +177,15 @@ let bounce t envelope =
    the partition separates the endpoints at that instant the message
    cannot cross: optimistic mode schedules the return hop (<= T, hence
    the paper's 2T round-trip envelope), pessimistic mode drops it. *)
-let arrival t envelope () =
+let arrival t envelope flow =
   let now = Engine.now t.engine in
   if Partition.separated t.partition ~at:now envelope.src envelope.dst then
     match t.mode with
     | Pessimistic -> (
         t.lost <- t.lost + 1;
+        if t.obs_on then
+          Obs.instant t.obs ~at:now ~site:(Site_id.to_int envelope.dst)
+            ~tid:(t.obs_tid envelope.payload) ~cat:"net" "lost-at-B";
         if t.tracing then
           trace_net t "%a -> %a %a: lost at boundary B" Site_id.pp envelope.src
             Site_id.pp envelope.dst t.pp_payload envelope.payload;
@@ -171,10 +197,16 @@ let arrival t envelope () =
           Delay.sample t.delay ~rng:t.rng ~t_max:t.t_max ~src:envelope.dst
             ~dst:envelope.src
         in
+        (* Two closure shapes so the obs-off bounce captures exactly
+           what it did before obs existed. *)
+        let cb =
+          if flow = 0 then fun () -> bounce t envelope 0
+          else fun () -> bounce t envelope flow
+        in
         ignore
           (Engine.schedule t.engine ~rank:Engine.Delivery ~delay:back
-             ~label:(Label.Static "net-bounce") (fun () -> bounce t envelope))
-  else deliver t envelope
+             ~label:(Label.Static "net-bounce") cb)
+  else deliver t envelope flow
 
 let send t ~src ~dst payload =
   if Site_id.equal src dst then
@@ -200,9 +232,23 @@ let send t ~src ~dst payload =
   if t.tracing then
     trace_net t "%a -> %a: send %a (hop %a)" Site_id.pp src Site_id.pp dst
       t.pp_payload payload Vtime.pp d;
+  (* With obs off the scheduled closure captures exactly [t] and
+     [envelope], as before obs existed — the hot path stays
+     allocation-identical. *)
+  let cb =
+    if t.obs_on then begin
+      let name = Format.asprintf "%a" t.pp_payload payload in
+      let flow =
+        Obs.flow_start t.obs ~at:envelope.sent_at ~site:(Site_id.to_int src)
+          ~tid:(t.obs_tid payload) name
+      in
+      fun () -> arrival t envelope flow
+    end
+    else fun () -> arrival t envelope 0
+  in
   ignore
     (Engine.schedule t.engine ~rank:Engine.Delivery ~delay:d
-       ~label:(Label.Static "net-hop") (fun () -> arrival t envelope ()))
+       ~label:(Label.Static "net-hop") cb)
   end
 
 let broadcast t ~src payload =

@@ -63,10 +63,19 @@ val create :
   ?delay:Delay.t ->
   ?seed:int64 ->
   ?pp_payload:(Format.formatter -> 'a -> unit) ->
+  ?obs:Obs.t ->
+  ?obs_tid:('a -> int) ->
   unit ->
   'a t
 (** Defaults: [mode = Optimistic], [partition = Partition.none],
-    [delay = Delay.uniform ~t_max], [seed = 1L]. *)
+    [delay = Delay.uniform ~t_max], [seed = 1L], [obs = Obs.disabled].
+
+    With an enabled [obs], every send opens a causality flow edge
+    (named by [pp_payload]) that closes at the destination on delivery
+    — or back at the {e sender} on an optimistic bounce, making the
+    returned-to-sender UD(msg) round trip visible; losses and crashes
+    become instants.  [obs_tid] maps a payload to the transaction-id
+    track the edge endpoints land on (default: track 0). *)
 
 val set_handler : 'a t -> (Site_id.t -> 'a delivery -> unit) -> unit
 (** Installs the delivery callback.  Must be called before any message

@@ -1,0 +1,397 @@
+type kind = Span_begin | Span_end | Instant | Flow_start | Flow_end
+
+type event = {
+  at : Vtime.t;
+  kind : kind;
+  site : int;
+  tid : int;
+  name : string;
+  cat : string;
+  flow : int;
+}
+
+type t = {
+  enabled : bool;
+  mutable events : event array;
+  mutable len : int;
+  open_spans : (int, (string * string) list) Hashtbl.t;
+      (* packed (site, tid) -> stack of (name, cat), innermost first *)
+  flow_meta : (int, string * string) Hashtbl.t;  (* flow id -> (name, cat) *)
+  mutable next_flow : int;
+}
+
+let dummy =
+  { at = Vtime.zero; kind = Instant; site = 0; tid = 0; name = ""; cat = ""; flow = 0 }
+
+let disabled =
+  {
+    enabled = false;
+    events = [||];
+    len = 0;
+    open_spans = Hashtbl.create 1;
+    flow_meta = Hashtbl.create 1;
+    next_flow = 0;
+  }
+
+let create () =
+  {
+    enabled = true;
+    events = Array.make 1024 dummy;
+    len = 0;
+    open_spans = Hashtbl.create 64;
+    flow_meta = Hashtbl.create 256;
+    next_flow = 0;
+  }
+
+let enabled t = t.enabled
+
+let num_events t = t.len
+
+(* Sites fit in a few bits and tids in well under 32; pack the pair so
+   the per-track stacks live in one int-keyed table. *)
+let key ~site ~tid = (site lsl 32) lor (tid land 0xFFFFFFFF)
+
+let push t ev =
+  (if t.len = Array.length t.events then begin
+     let grown = Array.make (Stdlib.max 1024 (2 * t.len)) dummy in
+     Array.blit t.events 0 grown 0 t.len;
+     t.events <- grown
+   end);
+  t.events.(t.len) <- ev;
+  t.len <- t.len + 1
+
+let span_begin t ~at ~site ~tid ?(cat = "phase") name =
+  if t.enabled then begin
+    push t { at; kind = Span_begin; site; tid; name; cat; flow = 0 };
+    let k = key ~site ~tid in
+    let stack =
+      match Hashtbl.find_opt t.open_spans k with Some s -> s | None -> []
+    in
+    Hashtbl.replace t.open_spans k ((name, cat) :: stack)
+  end
+
+let span_end t ~at ~site ~tid =
+  if t.enabled then
+    let k = key ~site ~tid in
+    match Hashtbl.find_opt t.open_spans k with
+    | None | Some [] -> ()  (* unbalanced end: drop rather than corrupt *)
+    | Some ((name, cat) :: rest) ->
+        Hashtbl.replace t.open_spans k rest;
+        push t { at; kind = Span_end; site; tid; name; cat; flow = 0 }
+
+let open_depth t ~site ~tid =
+  match Hashtbl.find_opt t.open_spans (key ~site ~tid) with
+  | None -> 0
+  | Some stack -> List.length stack
+
+let close_open_spans t ~at =
+  if t.enabled then begin
+    let keys =
+      Hashtbl.fold
+        (fun k stack acc -> if stack = [] then acc else k :: acc)
+        t.open_spans []
+      |> List.sort Int.compare
+    in
+    List.iter
+      (fun k ->
+        let site = k lsr 32 and tid = k land 0xFFFFFFFF in
+        let rec drain () =
+          match Hashtbl.find_opt t.open_spans k with
+          | None | Some [] -> ()
+          | Some _ ->
+              span_end t ~at ~site ~tid;
+              drain ()
+        in
+        drain ())
+      keys
+  end
+
+let instant t ~at ~site ~tid ?(cat = "mark") name =
+  if t.enabled then
+    push t { at; kind = Instant; site; tid; name; cat; flow = 0 }
+
+let flow_start t ~at ~site ~tid ?(cat = "net") name =
+  if not t.enabled then 0
+  else begin
+    t.next_flow <- t.next_flow + 1;
+    let id = t.next_flow in
+    Hashtbl.replace t.flow_meta id (name, cat);
+    push t { at; kind = Flow_start; site; tid; name; cat; flow = id };
+    id
+  end
+
+let flow_end t ~at ~site ~tid id =
+  if t.enabled && id <> 0 then
+    match Hashtbl.find_opt t.flow_meta id with
+    | None -> ()
+    | Some (name, cat) ->
+        push t { at; kind = Flow_end; site; tid; name; cat; flow = id }
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+(* ---- export ------------------------------------------------------------ *)
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_str_field buf key value =
+  Buffer.add_char buf '"';
+  Buffer.add_string buf key;
+  Buffer.add_string buf "\":\"";
+  add_escaped buf value;
+  Buffer.add_char buf '"'
+
+let add_int_field buf key value =
+  Buffer.add_char buf '"';
+  Buffer.add_string buf key;
+  Buffer.add_string buf "\":";
+  Buffer.add_string buf (string_of_int value)
+
+(* Distinct sites and (site, tid) tracks, in sorted order, for the
+   trace_event metadata records. *)
+let tracks t =
+  let keys = ref [] in
+  iter t (fun ev -> keys := key ~site:ev.site ~tid:ev.tid :: !keys);
+  let tracks = List.sort_uniq Int.compare !keys in
+  let sites =
+    List.sort_uniq Int.compare (List.map (fun k -> k lsr 32) tracks)
+  in
+  (sites, List.map (fun k -> (k lsr 32, k land 0xFFFFFFFF)) tracks)
+
+let site_name site = if site = 0 then "runtime" else "site " ^ string_of_int site
+
+(* Chrome trace_event JSON (the Perfetto / chrome://tracing format).
+   pid = site, tid = transaction id, ts = virtual ticks read as
+   microseconds.  Metadata records name the tracks; "B"/"E" pairs are
+   the spans, "i" the instants, and "s"/"f" the message-flow arrows
+   (bound by matching name + cat + id, each enclosed by a span on its
+   track). *)
+let to_trace_event_json t =
+  let buf = Buffer.create ((t.len * 96) + 1024) in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n "
+  in
+  let sites, tracks = tracks t in
+  List.iter
+    (fun site ->
+      sep ();
+      Buffer.add_string buf "{\"ph\":\"M\",\"name\":\"process_name\",";
+      add_int_field buf "pid" site;
+      Buffer.add_string buf ",\"tid\":0,\"args\":{";
+      add_str_field buf "name" (site_name site);
+      Buffer.add_string buf "}}")
+    sites;
+  List.iter
+    (fun (site, tid) ->
+      sep ();
+      Buffer.add_string buf "{\"ph\":\"M\",\"name\":\"thread_name\",";
+      add_int_field buf "pid" site;
+      Buffer.add_char buf ',';
+      add_int_field buf "tid" tid;
+      Buffer.add_string buf ",\"args\":{";
+      add_str_field buf "name" ("t" ^ string_of_int tid);
+      Buffer.add_string buf "}}")
+    tracks;
+  iter t (fun ev ->
+      sep ();
+      Buffer.add_string buf "{\"ph\":\"";
+      Buffer.add_string buf
+        (match ev.kind with
+        | Span_begin -> "B"
+        | Span_end -> "E"
+        | Instant -> "i"
+        | Flow_start -> "s"
+        | Flow_end -> "f");
+      Buffer.add_string buf "\",";
+      add_int_field buf "pid" ev.site;
+      Buffer.add_char buf ',';
+      add_int_field buf "tid" ev.tid;
+      Buffer.add_char buf ',';
+      add_int_field buf "ts" (Vtime.to_int ev.at);
+      Buffer.add_char buf ',';
+      add_str_field buf "name" ev.name;
+      Buffer.add_char buf ',';
+      add_str_field buf "cat" ev.cat;
+      (match ev.kind with
+      | Instant -> Buffer.add_string buf ",\"s\":\"t\""
+      | Flow_start ->
+          Buffer.add_char buf ',';
+          add_int_field buf "id" ev.flow
+      | Flow_end ->
+          Buffer.add_char buf ',';
+          add_int_field buf "id" ev.flow;
+          Buffer.add_string buf ",\"bp\":\"e\""
+      | Span_begin | Span_end -> ());
+      Buffer.add_char buf '}');
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+type span = {
+  s_site : int;
+  s_tid : int;
+  s_name : string;
+  s_cat : string;
+  s_begin : Vtime.t;
+  s_end : Vtime.t;
+}
+
+type edge = {
+  e_name : string;
+  e_cat : string;
+  e_id : int;
+  e_src_site : int;
+  e_src_tid : int;
+  e_sent : Vtime.t;
+  e_dst_site : int;
+  e_dst_tid : int;
+  e_recv : Vtime.t;
+}
+
+(* Pair up begins/ends (per-track stacks) and flow starts/ends into
+   closed spans and causality edges.  Events still open when the
+   recorder stopped are dropped — harnesses call [close_open_spans]
+   first, so nothing is normally lost. *)
+let reconstruct t =
+  let stacks : (int, (string * string * Vtime.t) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let starts : (int, event) Hashtbl.t = Hashtbl.create 256 in
+  let spans = ref [] and edges = ref [] in
+  iter t (fun ev ->
+      let k = key ~site:ev.site ~tid:ev.tid in
+      match ev.kind with
+      | Span_begin ->
+          let stack =
+            match Hashtbl.find_opt stacks k with Some s -> s | None -> []
+          in
+          Hashtbl.replace stacks k ((ev.name, ev.cat, ev.at) :: stack)
+      | Span_end -> (
+          match Hashtbl.find_opt stacks k with
+          | None | Some [] -> ()
+          | Some ((name, cat, began) :: rest) ->
+              Hashtbl.replace stacks k rest;
+              spans :=
+                {
+                  s_site = ev.site;
+                  s_tid = ev.tid;
+                  s_name = name;
+                  s_cat = cat;
+                  s_begin = began;
+                  s_end = ev.at;
+                }
+                :: !spans)
+      | Instant -> ()
+      | Flow_start -> Hashtbl.replace starts ev.flow ev
+      | Flow_end -> (
+          match Hashtbl.find_opt starts ev.flow with
+          | None -> ()
+          | Some src ->
+              Hashtbl.remove starts ev.flow;
+              edges :=
+                {
+                  e_name = ev.name;
+                  e_cat = ev.cat;
+                  e_id = ev.flow;
+                  e_src_site = src.site;
+                  e_src_tid = src.tid;
+                  e_sent = src.at;
+                  e_dst_site = ev.site;
+                  e_dst_tid = ev.tid;
+                  e_recv = ev.at;
+                }
+                :: !edges));
+  (!spans, !edges)
+
+(* The causality DAG: every closed span as a node and every completed
+   send->recv flow as an edge, both name-sorted so the artifact is a
+   stable, diffable summary of "what depended on what". *)
+let to_causality_json t =
+  let spans, edges = reconstruct t in
+  let spans =
+    List.sort
+      (fun a b ->
+        let c = String.compare a.s_name b.s_name in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.s_site b.s_site in
+          if c <> 0 then c
+          else
+            let c = Int.compare a.s_tid b.s_tid in
+            if c <> 0 then c
+            else
+              let c = Vtime.compare a.s_begin b.s_begin in
+              if c <> 0 then c else Vtime.compare a.s_end b.s_end)
+      spans
+  in
+  let edges =
+    List.sort
+      (fun a b ->
+        let c = String.compare a.e_name b.e_name in
+        if c <> 0 then c
+        else
+          let c = Vtime.compare a.e_sent b.e_sent in
+          if c <> 0 then c else Int.compare a.e_id b.e_id)
+      edges
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"spans\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n {";
+      add_str_field buf "name" s.s_name;
+      Buffer.add_char buf ',';
+      add_str_field buf "cat" s.s_cat;
+      Buffer.add_char buf ',';
+      add_int_field buf "site" s.s_site;
+      Buffer.add_char buf ',';
+      add_int_field buf "tid" s.s_tid;
+      Buffer.add_char buf ',';
+      add_int_field buf "begin" (Vtime.to_int s.s_begin);
+      Buffer.add_char buf ',';
+      add_int_field buf "end" (Vtime.to_int s.s_end);
+      Buffer.add_char buf '}')
+    spans;
+  Buffer.add_string buf "\n],\"edges\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n {";
+      add_str_field buf "name" e.e_name;
+      Buffer.add_char buf ',';
+      add_str_field buf "cat" e.e_cat;
+      Buffer.add_char buf ',';
+      add_int_field buf "id" e.e_id;
+      Buffer.add_char buf ',';
+      add_int_field buf "src_site" e.e_src_site;
+      Buffer.add_char buf ',';
+      add_int_field buf "src_tid" e.e_src_tid;
+      Buffer.add_char buf ',';
+      add_int_field buf "sent_at" (Vtime.to_int e.e_sent);
+      Buffer.add_char buf ',';
+      add_int_field buf "dst_site" e.e_dst_site;
+      Buffer.add_char buf ',';
+      add_int_field buf "dst_tid" e.e_dst_tid;
+      Buffer.add_char buf ',';
+      add_int_field buf "recv_at" (Vtime.to_int e.e_recv);
+      Buffer.add_char buf '}')
+    edges;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf

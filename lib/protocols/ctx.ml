@@ -2,6 +2,9 @@ type t = {
   engine : Engine.t;
   trace : Trace.t;  (* cached Engine.trace *)
   topic : string;  (* cached "%a" Site_id.pp self — once, not per log *)
+  obs : Obs.t;
+  obs_on : bool;  (* cached Obs.enabled *)
+  site : int;  (* cached Site_id.to_int self, the obs track *)
   n : int;
   t_unit : Vtime.t;
   self : Site_id.t;
@@ -12,8 +15,20 @@ type t = {
   mutable decision : Types.decision option;
 }
 
-let make ~engine ~n ~t_unit ~self ~trans_id ~send ~on_decide ~on_reason () =
+let make ~engine ~n ~t_unit ~self ~trans_id ~send ~on_decide ~on_reason
+    ?(obs = Obs.disabled) ?obs_site () =
   let trace = Engine.trace engine in
+  (* Harnesses that relabel site ids (the cluster's logical<->physical
+     rotation) pin the obs track to the physical id so state spans land
+     on the same timeline as the wire's flow endpoints. *)
+  let site = match obs_site with Some s -> s | None -> Site_id.to_int self in
+  let obs_on = Obs.enabled obs in
+  (* The root span of this site's timeline: everything else (states,
+     phases, flow endpoints) nests inside it; the harness's
+     [Obs.close_open_spans] seals it when the run stops. *)
+  if obs_on then
+    Obs.span_begin obs ~at:(Engine.now engine) ~site ~tid:trans_id ~cat:"txn"
+      "txn";
   {
     engine;
     trace;
@@ -22,6 +37,9 @@ let make ~engine ~n ~t_unit ~self ~trans_id ~send ~on_decide ~on_reason () =
     topic =
       (if Trace.enabled trace then Format.asprintf "%a" Site_id.pp self
        else "");
+    obs;
+    obs_on;
+    site;
     n;
     t_unit;
     self;
@@ -49,6 +67,39 @@ let is_master t = Site_id.is_master t.self
 let slaves t = Site_id.slaves ~n:(n t)
 
 let log t fmt = Trace.addf t.trace ~at:(now t) ~topic:t.topic fmt
+
+let obs t = t.obs
+
+let obs_on t = t.obs_on
+
+(* Span levels on a site timeline: 1 = the root txn span, 2 = the
+   protocol state, 3 = a phase within the state (a probe round, a
+   collect window).  Re-entering a level first closes everything at or
+   below it, so the nesting can never go ill-formed regardless of how a
+   protocol's transitions interleave. *)
+
+let obs_close_to t level =
+  while Obs.open_depth t.obs ~site:t.site ~tid:t.trans_id > level do
+    Obs.span_end t.obs ~at:(now t) ~site:t.site ~tid:t.trans_id
+  done
+
+let obs_state t name =
+  if t.obs_on then begin
+    obs_close_to t 1;
+    Obs.span_begin t.obs ~at:(now t) ~site:t.site ~tid:t.trans_id ~cat:"state"
+      name
+  end
+
+let obs_phase t name =
+  if t.obs_on then begin
+    obs_close_to t 2;
+    Obs.span_begin t.obs ~at:(now t) ~site:t.site ~tid:t.trans_id ~cat:"phase"
+      name
+  end
+
+let obs_instant t ?cat name =
+  if t.obs_on then
+    Obs.instant t.obs ~at:(now t) ~site:t.site ~tid:t.trans_id ?cat name
 
 let send t dst msg = t.send_fn dst msg
 
@@ -78,6 +129,11 @@ let decide t ?reason:why decision =
   | None ->
       t.decision <- Some decision;
       (match why with Some w -> t.on_reason w | None -> ());
+      if t.obs_on then
+        obs_instant t ~cat:"decision"
+          (match decision with
+          | Types.Commit -> "decide:commit"
+          | Types.Abort -> "decide:abort");
       log t "DECIDE %a%s" Types.pp_decision decision
         (match why with Some w -> " (" ^ w ^ ")" | None -> "");
       t.on_decide decision

@@ -19,12 +19,20 @@ val make :
   send:(Site_id.t -> Types.msg -> unit) ->
   on_decide:(Types.decision -> unit) ->
   on_reason:(string -> unit) ->
+  ?obs:Obs.t ->
+  ?obs_site:int ->
   unit ->
   t
 (** [send] delivers one protocol message to another site; the caller
     (runner or transaction manager) decides how it travels — directly
     over a {!Network.t}, or multiplexed with a transaction id.  This
-    keeps protocol actors independent of the wire representation. *)
+    keeps protocol actors independent of the wire representation.
+
+    With an enabled [obs] (default {!Obs.disabled}) the context opens
+    the root ["txn"] span of this site's (site, trans_id) timeline and
+    exposes the {!obs_state}/{!obs_phase}/{!obs_instant} helpers.
+    [obs_site] overrides the track's site number (default
+    [Site_id.to_int self]) for harnesses that relabel site ids. *)
 
 val engine : t -> Engine.t
 
@@ -65,6 +73,26 @@ val reason : t -> string -> unit
     the run result; used to audit the proof's case analysis. *)
 
 val log : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val obs : t -> Obs.t
+
+val obs_on : t -> bool
+(** Cached [Obs.enabled]: call sites that must build an argument (a
+    formatted name) guard on this, exactly like {!log}'s tracing
+    guard.  Calls with static names need no guard — every obs
+    operation is a no-op on a disabled recorder. *)
+
+val obs_state : t -> string -> unit
+(** Begin the protocol-state span [name], first closing the previous
+    state (and any phase inside it).  States sit directly under the
+    root txn span, so the site's timeline reads q1 → w1 → p1 → ... *)
+
+val obs_phase : t -> string -> unit
+(** Begin a phase span nested inside the current state (a probe round,
+    a collect window), first closing any previous phase. *)
+
+val obs_instant : t -> ?cat:string -> string -> unit
+(** A zero-duration mark on this site's timeline. *)
 
 (** A single resettable timer slot, as used by every protocol state
     ("reset timer 5T"). *)

@@ -110,6 +110,7 @@ let make ~name:protocol_name fsa assignment =
         | Site.Master_role -> (fsa.M.master, true)
         | Site.Slave_role { vote_yes } -> (fsa.M.slave, vote_yes)
       in
+      Ctx.obs_state ctx machine.M.initial;
       {
         ctx;
         machine;
@@ -149,6 +150,7 @@ let make ~name:protocol_name fsa assignment =
       Ctx.Timer_slot.cancel t.timer;
       let kind = match outcome with `To_commit -> M.Commit | `To_abort -> M.Abort in
       t.state <- final_of t kind;
+      Ctx.obs_state t.ctx t.state;
       Ctx.log t.ctx "fsa: %s -> %s" why t.state;
       if role_of t = M.Master then
         Ctx.broadcast_slaves t.ctx
@@ -172,6 +174,7 @@ let make ~name:protocol_name fsa assignment =
 
     let apply t (tr : M.transition) =
       t.state <- tr.M.target;
+      Ctx.obs_state t.ctx t.state;
       List.iter (do_action t) tr.M.actions;
       arm_timer t;
       decide_if_final t

@@ -49,14 +49,16 @@ type result = {
 let vote_of config site =
   match List.assoc_opt site config.votes with Some v -> v | None -> true
 
-let run ?tap (module P : Site.S) config =
+let run ?tap ?(obs = Obs.disabled) (module P : Site.S) config =
   if config.n < 2 then invalid_arg "Runner.run: need at least two sites";
   let trace = Trace.create ~enabled:config.trace_enabled () in
   let engine = Engine.create ~trace () in
   let net =
     Network.create ~engine ~n:config.n ~t_max:config.t_unit ~mode:config.mode
       ~partition:config.partition ~delay:config.delay ~seed:config.seed
-      ~pp_payload:Types.pp_msg ()
+      ~pp_payload:Types.pp_msg ~obs
+      ~obs_tid:(fun _ -> 1)  (* the single transaction *)
+      ()
   in
   (match tap with Some tap -> Network.set_tap net tap | None -> ());
   let decisions = Array.make config.n None in
@@ -71,7 +73,7 @@ let run ?tap (module P : Site.S) config =
           decisions.(index) <- Some d;
           decided_at.(index) <- Some (Engine.now engine))
         ~on_reason:(fun r -> reasons.(index) <- r :: reasons.(index))
-        ()
+        ~obs ()
     in
     let role =
       if Site_id.is_master id then Site.Master_role
@@ -93,6 +95,7 @@ let run ?tap (module P : Site.S) config =
        ~label:(Label.Static "request") (fun () ->
          P.begin_transaction sites.(0)));
   Engine.run ~until:config.horizon engine;
+  Obs.close_open_spans obs ~at:(Engine.now engine);
   let site_results =
     Array.init config.n (fun i ->
         let site = Site_id.of_int (i + 1) in

@@ -46,9 +46,17 @@ type result = {
 }
 
 val run :
-  ?tap:(Types.msg Network.event -> unit) -> Site.packed -> config -> result
+  ?tap:(Types.msg Network.event -> unit) ->
+  ?obs:Obs.t ->
+  Site.packed ->
+  config ->
+  result
 (** [tap] observes every message fate (see {!Network.set_tap}); the
-    checker's case classifier and the timing benches use it. *)
+    checker's case classifier and the timing benches use it.
+
+    [obs] (default {!Obs.disabled}) records per-site lifecycle spans
+    and message-flow edges; the runner seals any still-open spans when
+    the engine stops, so the recorder is export-ready on return. *)
 
 val site_result : result -> Site_id.t -> site_result
 

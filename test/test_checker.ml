@@ -476,7 +476,7 @@ let test_json_stats_and_verdict () =
   (match Stats.of_list [ 1; 2; 3 ] with
   | Some stats ->
       check Alcotest.string "stats json"
-        "{\"count\":3,\"min\":1,\"p50\":2,\"p90\":3,\"p99\":3,\"max\":3,\"mean\":2.0}"
+        "{\"count\":3,\"min\":1,\"p50\":2,\"p90\":3,\"p95\":3,\"p99\":3,\"max\":3,\"mean\":2.0}"
         (Export.to_string (Export.of_stats stats))
   | None -> Alcotest.fail "stats expected");
   let result = Runner.run (module Termination.Static) (config ()) in
