@@ -629,6 +629,169 @@ let ref4 () =
   row "  assumption and the impossibility of covering both at once.@."
 
 (* ------------------------------------------------------------------ *)
+(* Paxos Commit vs 3PC+termination (BENCH_paxos.json)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The head-to-head the new protocol family exists for: what does
+   master-failure tolerance cost in messages and latency when nothing
+   fails, and what does it buy when the master dies mid-protocol. *)
+let paxos_bench ~smoke () =
+  section "Paxos Commit vs 3PC+termination — the price of leader failover";
+  let crash_instants =
+    List.init (if smoke then 6 else 24) (fun i -> 250 * (i + 1))
+  in
+  let seeds = if smoke then [ 1L ] else [ 1L; 42L; 1987L ] in
+  let delays =
+    [ Delay.minimal; Delay.full ~t_max:t_unit; Delay.uniform ~t_max:t_unit ]
+  in
+  let fault_free_configs =
+    List.concat_map
+      (fun delay ->
+        List.map
+          (fun seed -> { (base_config ()) with Runner.delay; seed })
+          seeds)
+      delays
+  in
+  let crash_configs =
+    List.concat_map
+      (fun at ->
+        List.concat_map
+          (fun delay ->
+            List.map
+              (fun seed ->
+                {
+                  (base_config ()) with
+                  Runner.delay;
+                  seed;
+                  crashes = [ (Site_id.master, Vtime.of_int at) ];
+                })
+              seeds)
+          delays)
+      crash_instants
+  in
+  let measure protocol configs =
+    let runs = ref 0
+    and decided = ref 0
+    and committed = ref 0
+    and blocked = ref 0
+    and violations = ref 0
+    and messages = ref 0
+    and latencies = ref [] in
+    List.iter
+      (fun config ->
+        let result = Runner.run protocol config in
+        let v = Verdict.of_result result in
+        incr runs;
+        messages := !messages + result.net_stats.Network.sent;
+        if not v.Verdict.atomic then incr violations;
+        if v.Verdict.blocked <> [] then incr blocked
+        else if v.Verdict.committed <> [] || v.Verdict.aborted <> [] then begin
+          incr decided;
+          if v.Verdict.committed <> [] then incr committed;
+          match v.Verdict.max_decision_time with
+          | Some at -> latencies := Vtime.to_int at :: !latencies
+          | None -> ()
+        end)
+      configs;
+    let stats = Stats.of_list !latencies in
+    let per_decided =
+      if !decided = 0 then nan
+      else float_of_int !messages /. float_of_int !decided
+    in
+    ( !runs,
+      !decided,
+      !committed,
+      !blocked,
+      !violations,
+      !messages,
+      per_decided,
+      stats )
+  in
+  let stats_json = function
+    | None -> Export.Null
+    | Some (s : Stats.t) ->
+        Export.Obj
+          [
+            ("count", Export.Int s.count);
+            ("min", Export.Int s.min);
+            ("p50", Export.Int s.p50);
+            ("p90", Export.Int s.p90);
+            ("p95", Export.Int s.p95);
+            ("p99", Export.Int s.p99);
+            ("max", Export.Int s.max);
+            ("mean", Export.Float s.mean);
+          ]
+  in
+  let leg_json (runs, decided, committed, blocked, violations, messages, per, stats)
+      =
+    Export.Obj
+      [
+        ("runs", Export.Int runs);
+        ("decided", Export.Int decided);
+        ("committed", Export.Int committed);
+        ("blocked", Export.Int blocked);
+        ("violations", Export.Int violations);
+        ("messages", Export.Int messages);
+        ("messages_per_decided_txn", Export.Float per);
+        ("decision_latency_ticks", stats_json stats);
+      ]
+  in
+  let families =
+    [
+      ("paxos", Paxos_commit.protocol);
+      ("paxos-f0", Paxos_commit.protocol_f0);
+      ("termination-transient", (module Termination.Transient : Site.S));
+    ]
+  in
+  let report_leg label
+      (runs, decided, committed, blocked, violations, _, per, stats) =
+    row
+      "    %-13s %4d runs: %4d decided (%d committed), %3d blocked, %d \
+       violations@."
+      label runs decided committed blocked violations;
+    row "    %-13s %.1f msgs/decided txn, latency %a@." "" per
+      (Fmt.option ~none:(Fmt.any "-") (Stats.pp_in_t ~unit_t:t_unit))
+      stats
+  in
+  let results =
+    List.map
+      (fun (name, protocol) ->
+        let clean = measure protocol fault_free_configs in
+        let crash = measure protocol crash_configs in
+        row "  %s:@." name;
+        report_leg "fault-free" clean;
+        report_leg "master-crash" crash;
+        (name, clean, crash))
+      families
+  in
+  row "  paper family blocks or aborts when its master dies; Paxos (F=1)@.";
+  row "  pays more messages per transaction and keeps deciding.@.";
+  let json =
+    Export.Obj
+      [
+        ("smoke", Export.Bool smoke);
+        ("n", Export.Int 3);
+        ("t_unit", Export.Int (Vtime.to_int t_unit));
+        ( "families",
+          Export.List
+            (List.map
+               (fun (name, clean, crash) ->
+                 Export.Obj
+                   [
+                     ("name", Export.String name);
+                     ("fault_free", leg_json clean);
+                     ("master_crash", leg_json crash);
+                   ])
+               results) );
+      ]
+  in
+  let oc = open_out "BENCH_paxos.json" in
+  output_string oc (Export.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  row "  wrote BENCH_paxos.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Assumption 2 — no back-to-back partitions                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1429,6 +1592,7 @@ let () =
   let smoke = has_flag "--smoke" in
   if has_flag "--engine-only" then engine_bench ~smoke ()
   else if has_flag "--obs-overhead" then obs_bench ~smoke ()
+  else if has_flag "--paxos-only" then paxos_bench ~smoke ()
   else begin
   fig1 ();
   fig2 ();
@@ -1446,6 +1610,7 @@ let () =
   multi_partitioning ();
   assumption2 ();
   ref4 ();
+  paxos_bench ~smoke ();
   sec7 ();
   db_cost ();
   latency_distribution ();

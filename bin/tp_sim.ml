@@ -18,19 +18,9 @@
    Domain.recommended_domain_count).  The summary/JSON is byte-identical
    for every N — parallelism only changes the wall clock. *)
 
-let protocols : (string * Site.packed) list =
-  [
-    ("2pc", (module Two_phase));
-    ("ext2pc", (module Ext_two_phase));
-    ("3pc", (module Three_phase));
-    ("3pc+rules", (module Three_phase_rules));
-    ("3pc+rules-strict", (module Three_phase_rules.Strict));
-    ("3pc-skeen", (module Three_phase_skeen));
-    ("quorum", (module Quorum));
-    ("termination", (module Termination.Static));
-    ("termination-transient", (module Termination.Transient));
-    ("4pc-termination", (module Theorem10.Four_phase_termination));
-  ]
+(* The one protocol table: lib/checker/registry.ml.  Adding a family
+   there is all it takes to reach run/sweep/cluster/list/bench. *)
+let protocols : (string * Site.packed) list = Registry.enum
 
 open Cmdliner
 
@@ -517,6 +507,39 @@ let check_cmd =
     let s = sweep (module Quorum) 3 in
     verdict "Ref [5]: quorum atomic, blocks the minority"
       (s.violations = 0 && s.blocked_runs > 0);
+    let s = sweep Paxos_commit.protocol 3 in
+    verdict "Paxos Commit: atomic under partition (minority may block)"
+      (s.violations = 0);
+    let crash_grid n =
+      Scenario.configs
+        ~base:(Runner.default_config ~n ~t_unit ())
+        (Scenario.master_crash_grid ~t_unit)
+    in
+    let crash_sweep p n = Sweep.run p (crash_grid n) in
+    let spx = crash_sweep Paxos_commit.protocol 3 in
+    verdict "Paxos Commit (F=1): resilient to master crash"
+      (spx.violations = 0 && spx.blocked_runs = 0);
+    let s = crash_sweep Paxos_commit.protocol_f0 3 in
+    verdict "Paxos F=0 degenerates to 2PC: master crash blocks"
+      (s.violations = 0 && s.blocked_runs > 0);
+    let s = crash_sweep (module Termination.Transient) 3 in
+    verdict "termination protocol outlived by Paxos on master crash"
+      (s.violations = 0 && s.committed < spx.committed);
+    let majorities_ok =
+      List.for_all
+        (fun cfg ->
+          let tap, events = Paxos_check.collecting_tap () in
+          let result = Runner.run ~tap Paxos_commit.protocol cfg in
+          match Paxos_check.audit ~f:1 result (events ()) with
+          | Ok _ -> true
+          | Error problems ->
+              List.iter
+                (fun p -> Format.eprintf "    %a@." Paxos_check.pp_problem p)
+                problems;
+              false)
+        (grid 3 @ crash_grid 3)
+    in
+    verdict "Paxos: every commit backed by acceptor majorities" majorities_ok;
     let facts_ok =
       List.for_all
         (fun cfg ->
@@ -728,7 +751,8 @@ let cluster_cmd =
              of just $(b,--policy).")
   in
   let run protocol n t g2 cuts heals seed delay pessimistic duration drain load
-      window queue_limit policy pause json quiet seeds all_policies jobs spans =
+      window queue_limit policy pause crashes json quiet seeds all_policies jobs
+      spans =
     let t_unit = Vtime.of_int t in
     let resolve = function
       | `T v -> Vtime.of_int (v * t)
@@ -782,6 +806,10 @@ let cluster_cmd =
         queue_limit;
         policy;
         pause_during_cut = pause;
+        crashes =
+          List.map
+            (fun (s, at) -> (Site_id.of_int s, Vtime.of_int at))
+            crashes;
       }
     in
     match seeds with
@@ -846,19 +874,20 @@ let cluster_cmd =
       const run $ cluster_protocol_arg $ n_arg $ t_arg $ g2_arg $ cut_arg
       $ cluster_heal_arg $ seed_arg $ delay_arg $ pessimistic_arg
       $ duration_arg $ drain_arg $ load_arg $ window_arg $ queue_limit_arg
-      $ policy_arg $ pause_arg $ json_arg $ quiet_arg $ seeds_arg
+      $ policy_arg $ pause_arg $ crash_arg $ json_arg $ quiet_arg $ seeds_arg
       $ all_policies_arg $ jobs_arg $ spans_arg)
 
 let list_cmd =
   let doc = "List available protocols and subcommands." in
   let run () =
-    Format.printf "protocols:@.";
+    Format.printf "protocols (lib/checker/registry.ml):@.";
     List.iter
-      (fun (name, (module P : Site.S)) ->
-        Format.printf "  %-22s %s@." name
+      (fun { Registry.name; summary; protocol = (module P : Site.S) } ->
+        Format.printf "  %-22s %s %s@." name
           (if P.blocking_by_design then "(blocks under partition)"
-           else "(nonblocking)"))
-      protocols;
+           else "(nonblocking)          ")
+          summary)
+      Registry.all;
     Format.printf "subcommands:@.";
     List.iter
       (fun (name, doc) -> Format.printf "  %-10s %s@." name doc)

@@ -54,7 +54,9 @@ let observe protocol (config : Runner.config) =
             in_g2 s.env.src && probe_senders slave
         | Types.Xact | Types.Yes | Types.No | Types.Pre_prepare
         | Types.Pre_ack | Types.Prepare | Types.Ack | Types.Commit_cmd
-        | Types.Abort_cmd | Types.State_inquiry _ | Types.State_answer _ ->
+        | Types.Abort_cmd | Types.State_inquiry _ | Types.State_answer _
+        | Types.Px_vote _ | Types.Px_accept _ | Types.Px_poll _
+        | Types.Px_promise _ ->
             false)
   in
   let case =
@@ -95,7 +97,8 @@ let observe protocol (config : Runner.config) =
         | Types.Probe _ | Types.Xact | Types.Yes | Types.No
         | Types.Pre_prepare | Types.Pre_ack | Types.Prepare | Types.Ack
         | Types.Commit_cmd | Types.Abort_cmd | Types.State_inquiry _
-        | Types.State_answer _ ->
+        | Types.State_answer _ | Types.Px_vote _ | Types.Px_accept _
+        | Types.Px_poll _ | Types.Px_promise _ ->
             None)
       seen
   in

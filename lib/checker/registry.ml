@@ -1,0 +1,89 @@
+type entry = { name : string; summary : string; protocol : Site.packed }
+
+(* The one place a protocol family is registered: tp_sim's --protocol
+   enums, `tp_sim list`, and the bench head-to-heads all read this
+   table, so adding a family is one line here. *)
+let all : entry list =
+  [
+    {
+      name = "2pc";
+      summary = "two-phase commit; blocks when the master is unreachable";
+      protocol = (module Two_phase);
+    }
+    ;
+    {
+      name = "ext2pc";
+      summary = "2PC with the paper's extended (cooperative) termination";
+      protocol = (module Ext_two_phase);
+    }
+    ;
+    {
+      name = "3pc";
+      summary = "three-phase commit, no termination rules";
+      protocol = (module Three_phase);
+    }
+    ;
+    {
+      name = "3pc+rules";
+      summary = "3PC with the paper's timeout/UD rules (a)-(d)";
+      protocol = (module Three_phase_rules);
+    }
+    ;
+    {
+      name = "3pc+rules-strict";
+      summary = "3PC rules with the strict rule (c) reading";
+      protocol = (module Three_phase_rules.Strict);
+    }
+    ;
+    {
+      name = "3pc-skeen";
+      summary = "Skeen-style 3PC with cooperative termination";
+      protocol = (module Three_phase_skeen);
+    }
+    ;
+    {
+      name = "quorum";
+      summary = "quorum-commit baseline with state-inquiry termination";
+      protocol = (module Quorum);
+    }
+    ;
+    {
+      name = "termination";
+      summary = "the paper's termination protocol, static partitions";
+      protocol = (module Termination.Static);
+    }
+    ;
+    {
+      name = "termination-transient";
+      summary = "the paper's termination protocol, transient partitions";
+      protocol = (module Termination.Transient);
+    }
+    ;
+    {
+      name = "4pc-termination";
+      summary = "Theorem 10 four-phase commit with termination";
+      protocol = (module Theorem10.Four_phase_termination);
+    }
+    ;
+    {
+      name = "paxos";
+      summary = "Paxos Commit, F=1 (3 acceptors); survives master failure";
+      protocol = Paxos_commit.protocol;
+    }
+    ;
+    {
+      name = "paxos-f0";
+      summary = "Paxos Commit fast path, F=0; collapses to 2PC";
+      protocol = Paxos_commit.protocol_f0;
+    }
+    ;
+  ]
+
+let enum = List.map (fun e -> (e.name, e.protocol)) all
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+
+let get name =
+  match find name with
+  | Some e -> e.protocol
+  | None -> invalid_arg (Printf.sprintf "Registry.get: unknown protocol %S" name)

@@ -28,6 +28,7 @@ type grid = {
   delays : Delay.t list;
   seeds : int64 list;
   votes : (Site_id.t * bool) list list;
+  crashes : (Site_id.t * Vtime.t) list list;
 }
 
 let default_grid ~n ~t_unit =
@@ -38,6 +39,22 @@ let default_grid ~n ~t_unit =
     delays = [ Delay.minimal; Delay.full ~t_max:t_unit; Delay.uniform ~t_max:t_unit ];
     seeds = [ 1L; 42L; 1987L ];
     votes = [ [] ];
+    crashes = [ [] ];
+  }
+
+let master_crash_grid ~t_unit =
+  {
+    cuts = [ Site_id.Set.empty ];
+    starts = [ Vtime.zero ];
+    heals_after = [ None ];
+    delays =
+      [ Delay.minimal; Delay.full ~t_max:t_unit; Delay.uniform ~t_max:t_unit ];
+    seeds = [ 1L; 42L; 1987L ];
+    votes = [ [] ];
+    crashes =
+      List.map
+        (fun at -> [ (Site_id.master, at) ])
+        (instants ~t_unit ~until_mult:6 ~per_t:2);
   }
 
 let configs ~base grid =
@@ -54,15 +71,30 @@ let configs ~base grid =
                     (fun seed ->
                       List.iter
                         (fun votes ->
-                          let partition =
-                            Partition.make
-                              ?heals_at:
-                                (Option.map (fun d -> Vtime.add start d) heal)
-                              ~group2:cut ~starts_at:start ~n:base.Runner.n ()
-                          in
-                          acc :=
-                            { base with Runner.partition; delay; seed; votes }
-                            :: !acc)
+                          List.iter
+                            (fun crashes ->
+                              let partition =
+                                if Site_id.Set.is_empty cut then Partition.none
+                                else
+                                  Partition.make
+                                    ?heals_at:
+                                      (Option.map
+                                         (fun d -> Vtime.add start d)
+                                         heal)
+                                    ~group2:cut ~starts_at:start
+                                    ~n:base.Runner.n ()
+                              in
+                              acc :=
+                                {
+                                  base with
+                                  Runner.partition;
+                                  delay;
+                                  seed;
+                                  votes;
+                                  crashes;
+                                }
+                                :: !acc)
+                            grid.crashes)
                         grid.votes)
                     grid.seeds)
                 grid.delays)
@@ -121,7 +153,7 @@ let multi_configs ~base ~starts ~delays ~seeds =
   List.rev !acc
 
 let config_id (config : Runner.config) =
-  Format.asprintf "n=%d %a delay=%a seed=%Ld%s" config.n Partition.pp
+  Format.asprintf "n=%d %a delay=%a seed=%Ld%s%s" config.n Partition.pp
     config.partition Delay.pp config.delay config.seed
     (if config.votes = [] then ""
      else
@@ -131,3 +163,11 @@ let config_id (config : Runner.config) =
               (fun (s, v) ->
                 Format.asprintf "%a:%s" Site_id.pp s (if v then "y" else "n"))
               config.votes))
+    (if config.crashes = [] then ""
+     else
+       " crash="
+       ^ String.concat ","
+           (List.map
+              (fun (s, at) ->
+                Format.asprintf "%a@%d" Site_id.pp s (Vtime.to_int at))
+              config.crashes))

@@ -21,6 +21,7 @@ val instants :
 
 type grid = {
   cuts : Site_id.Set.t list;
+      (** an empty set means "no link cut" — a pure crash timeline *)
   starts : Vtime.t list;
   heals_after : Vtime.t option list;
       (** [None] = static partition; [Some d] heals [d] ticks after it
@@ -28,11 +29,20 @@ type grid = {
   delays : Delay.t list;
   seeds : int64 list;
   votes : (Site_id.t * bool) list list;
+  crashes : (Site_id.t * Vtime.t) list list;
+      (** crash-stop faults: each element is one timeline's list of
+          (site, instant) crashes; [[]] means fault-free *)
 }
 
 val default_grid : n:int -> t_unit:Vtime.t -> grid
 (** All cuts; instants at 4/T over 8T; static; minimal+full+uniform
-    delays; 3 seeds; all-yes votes. *)
+    delays; 3 seeds; all-yes votes; no crashes. *)
+
+val master_crash_grid : t_unit:Vtime.t -> grid
+(** No link cuts; instead the master crash-stops at 2 instants per T
+    over 6T, across the three delay models and three seeds.  Usable by
+    every protocol family: the termination protocol visibly blocks or
+    aborts on these timelines where Paxos Commit (F>=1) decides. *)
 
 val configs : base:Runner.config -> grid -> Runner.config list
 (** The cartesian product, each as a runnable config. *)
@@ -52,4 +62,5 @@ val multi_configs :
     demonstrate that no protocol survives them. *)
 
 val config_id : Runner.config -> string
-(** Compact, stable description of a grid point, for reports. *)
+(** Compact, stable description of a grid point (including any crash
+    timeline), for reports. *)

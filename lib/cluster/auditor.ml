@@ -15,6 +15,7 @@ type t = {
   mutable breaches : int;
   mutable applied : int;
   mutable atomic_expected : int;
+  mutable dead : Site_id.Set.t;  (* crash-stopped; exempt from settling *)
 }
 
 let create ~n () =
@@ -28,6 +29,7 @@ let create ~n () =
     breaches = 0;
     applied = 0;
     atomic_expected = 0;
+    dead = Site_id.Set.empty;
   }
 
 let begin_txn t ~tid ~contributions =
@@ -66,6 +68,13 @@ let settle t tid txn =
       t.breaches <- t.breaches + 1
   end
 
+(* A transaction settles when every live site has decided; decisions a
+   crash-stopped site never makes cannot be waited for. *)
+let live_complete t txn =
+  List.for_all
+    (fun s -> Site_id.Set.mem s t.dead || List.mem_assoc s txn.decisions)
+    (Site_id.all ~n:t.n)
+
 let record t ~tid ~site decision =
   match Hashtbl.find_opt t.txns tid with
   | None -> invalid_arg (Printf.sprintf "Auditor.record: unknown tid %d" tid)
@@ -81,8 +90,20 @@ let record t ~tid ~site decision =
           (match decision with
           | Types.Commit -> t.applied <- t.applied + contribution txn site
           | Types.Abort -> ());
-          if List.length txn.decisions = t.n && not txn.settled then
-            settle t tid txn)
+          if live_complete t txn && not txn.settled then settle t tid txn)
+
+let mark_dead t ~site =
+  if not (Site_id.Set.mem site t.dead) then begin
+    t.dead <- Site_id.Set.add site t.dead;
+    (* Open transactions may already be complete over the survivors.
+       Counters are order-independent and [torn] is sorted on read, so
+       the hashtable's iteration order does not leak into results. *)
+    Hashtbl.iter
+      (fun tid txn ->
+        if (not txn.settled) && txn.decisions <> [] && live_complete t txn
+        then settle t tid txn)
+      t.txns
+  end
 
 let open_txns t = t.open_count
 

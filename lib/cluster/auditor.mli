@@ -32,8 +32,15 @@ val begin_txn : t -> tid:int -> contributions:(Site_id.t * int) list -> unit
 
 val record : t -> tid:int -> site:Site_id.t -> Types.decision -> unit
 (** One site's decision.  Repeated identical decisions are ignored; an
-    unknown tid raises.  The transaction settles on the n-th site's
-    decision. *)
+    unknown tid raises.  The transaction settles once every live site
+    has decided. *)
+
+val mark_dead : t -> site:Site_id.t -> unit
+(** Declare [site] crash-stopped: it is exempt from settling from now
+    on, and any open transaction already complete over the surviving
+    sites settles immediately.  Agreement and conservation are then
+    judged over the decisions actually made — a crash is a fault, not a
+    violation. *)
 
 val open_txns : t -> int
 (** Registered but not yet settled. *)

@@ -16,6 +16,7 @@ type config = {
   queue_limit : int option;
   policy : Scheduler.policy;
   pause_during_cut : bool;
+  crashes : (Site_id.t * Vtime.t) list;
   balance : int;
   amount : int;
   bucket : Vtime.t;
@@ -41,6 +42,7 @@ let default_config ?(protocol = (module Termination.Transient : Site.S))
     queue_limit = Some 64;
     policy = Scheduler.Partition_aware;
     pause_during_cut = false;
+    crashes = [];
     balance = 1000;
     amount = 25;
     bucket = t 10;
@@ -96,6 +98,10 @@ let termination_reason =
         "ud-yes";
         "ud-xact";
         "w1-timeout";
+        (* Paxos Commit: a decision chosen at a ballot > 0 means a
+           replacement leader drove the instances home — the consensus
+           counterpart of a termination-protocol invocation. *)
+        "px-chosen-recovery";
       ]
   in
   fun r -> List.mem r tagged
@@ -124,6 +130,7 @@ module Run (P : Site.S) = struct
     txns : (int, txn_rt) Hashtbl.t;
     metrics : Metrics.t;
     auditor : Auditor.t;
+    dead : bool array;  (* crash-stopped sites, index = physical - 1 *)
     horizon : Vtime.t;
   }
 
@@ -154,12 +161,31 @@ module Run (P : Site.S) = struct
       Obs.span_end state.obs ~at ~site:0 ~tid
     done
 
+  (* Settlement is judged over live sites only: a crash-stopped site
+     never decides and is nobody's fault. *)
+  let live_complete state rt =
+    let ok = ref true in
+    Array.iteri
+      (fun i d -> if (not state.dead.(i)) && d = None then ok := false)
+      rt.decisions;
+    !ok
+
   let rec settle state rt =
     rt.settled <- true;
     if state.obs_on then obs_seal_track state rt.spec.Tm.tid;
     let at = now state in
     let m = state.metrics in
-    let all d = Array.for_all (( = ) (Some d)) rt.decisions in
+    let all d =
+      let any = ref false and ok = ref true in
+      Array.iteri
+        (fun i d' ->
+          if not state.dead.(i) then
+            match d' with
+            | Some x when Types.equal_decision x d -> any := true
+            | Some _ | None -> ok := false)
+        rt.decisions;
+      !any && !ok
+    in
     (if all Types.Commit then begin
        Metrics.incr m "txn.committed";
        Metrics.mark m ~at "commits";
@@ -183,7 +209,11 @@ module Run (P : Site.S) = struct
     pump state
 
   and record_decision state rt phys_index decision =
-    if rt.decisions.(phys_index) = None then begin
+    (* A crash-stopped site's local timers can still fire and "decide"
+       in its isolated ghost state; nothing it does after the crash may
+       reach the durable store or the auditor. *)
+    if (not state.dead.(phys_index)) && rt.decisions.(phys_index) = None
+    then begin
       rt.decisions.(phys_index) <- Some decision;
       let site = Site_id.of_int (phys_index + 1) in
       let durable = store state site in
@@ -191,8 +221,7 @@ module Run (P : Site.S) = struct
       | Types.Commit -> Durable_site.commit durable ~tid:rt.spec.tid ()
       | Types.Abort -> Durable_site.abort durable ~tid:rt.spec.tid);
       Auditor.record state.auditor ~tid:rt.spec.tid ~site decision;
-      if (not rt.settled) && Array.for_all (( <> ) None) rt.decisions then
-        settle state rt
+      if (not rt.settled) && live_complete state rt then settle state rt
     end
 
   and start state spec master =
@@ -278,10 +307,11 @@ module Run (P : Site.S) = struct
     P.begin_transaction instances.(Site_id.to_int master - 1)
 
   and pump state =
+    let alive s = not state.dead.(Site_id.to_int s - 1) in
     let rec drain () =
       match
-        Scheduler.next state.scheduler ~timeline:state.config.timeline
-          ~now:(now state)
+        Scheduler.next state.scheduler ~alive ~timeline:state.config.timeline
+          ~now:(now state) ()
       with
       | Some (spec, master) ->
           start state spec master;
@@ -295,8 +325,9 @@ module Run (P : Site.S) = struct
     Metrics.incr state.metrics "txn.offered";
     Metrics.mark state.metrics ~at "arrivals";
     match
-      Scheduler.submit state.scheduler ~timeline:state.config.timeline ~now:at
-        spec
+      Scheduler.submit state.scheduler
+        ~alive:(fun s -> not state.dead.(Site_id.to_int s - 1))
+        ~timeline:state.config.timeline ~now:at spec
     with
     | `Admit master -> start state spec master
     | `Enqueued ->
@@ -316,6 +347,13 @@ module Run (P : Site.S) = struct
     if config.amount <= 0 || config.amount >= config.balance then
       invalid_arg "Runtime.run: need 0 < amount < balance";
     if config.n < 2 then invalid_arg "Runtime.run: need at least two sites";
+    List.iter
+      (fun (site, _) ->
+        if Site_id.to_int site > config.n then
+          invalid_arg
+            (Printf.sprintf "Runtime.run: crash site %d out of range (n=%d)"
+               (Site_id.to_int site) config.n))
+      config.crashes;
     let trace_store = Trace.create ~enabled:config.trace_enabled () in
     let engine = Engine.create ~trace:trace_store () in
     let net =
@@ -345,9 +383,39 @@ module Run (P : Site.S) = struct
         txns = Hashtbl.create 256;
         metrics;
         auditor = Auditor.create ~n:config.n ();
+        dead = Array.make config.n false;
         horizon;
       }
     in
+    (* Crash-stop timeline: silence the site on the wire, release the
+       auditor and any in-flight transactions that are now complete over
+       the survivors, and keep the site out of master rotation. *)
+    List.iter
+      (fun (site, at) ->
+        ignore
+          (Engine.schedule_at engine ~at ~label:(Label.Static "crash")
+             (fun () ->
+               let i = Site_id.to_int site - 1 in
+               if not state.dead.(i) then begin
+                 state.dead.(i) <- true;
+                 Network.crash state.net site;
+                 if state.tracing then trace state "site%d CRASHED" (i + 1);
+                 Auditor.mark_dead state.auditor ~site;
+                 let stranded =
+                   Hashtbl.fold
+                     (fun _ rt acc ->
+                       if (not rt.settled) && live_complete state rt then
+                         rt :: acc
+                       else acc)
+                     state.txns []
+                   |> List.sort (fun a b ->
+                          Int.compare a.spec.Tm.tid b.spec.Tm.tid)
+                 in
+                 List.iter
+                   (fun rt -> if not rt.settled then settle state rt)
+                   stranded
+               end)))
+      config.crashes;
     (* Count termination-protocol probes directly off the wire. *)
     Network.set_tap net (fun event ->
         match event with
@@ -525,6 +593,16 @@ let to_json report =
             ( "timeline",
               Export.String
                 (Format.asprintf "%a" Partition.pp report.config.timeline) );
+            ( "crashes",
+              Export.List
+                (List.map
+                   (fun (s, at) ->
+                     Export.Obj
+                       [
+                         ("site", Export.Int (Site_id.to_int s));
+                         ("at", Export.Int (Vtime.to_int at));
+                       ])
+                   report.config.crashes) );
           ] );
       ( "totals",
         Export.Obj

@@ -40,6 +40,11 @@ type config = {
   queue_limit : int option;  (** admission queue bound; [None] = unbounded *)
   policy : Scheduler.policy;
   pause_during_cut : bool;
+  crashes : (Site_id.t * Vtime.t) list;
+      (** crash-stop schedule: at each instant the site falls silent
+          forever — future sends and deliveries die, its timers fire
+          into the void, and the scheduler stops picking it as a
+          coordinator.  Distinct from a partition: there is no heal. *)
   balance : int;  (** initial per-account balance of each transfer *)
   amount : int;  (** amount moved by each transfer *)
   bucket : Vtime.t;  (** metrics time-series bucket width *)

@@ -41,8 +41,15 @@ let create ?(policy = Partition_aware) ?(queue_limit = max_int)
     rr = 0;
   }
 
-let pick_master t ~timeline ~now =
+let pick_master t ?(alive = fun _ -> true) ~timeline ~now () =
   let rotate candidates =
+    (* Crash-stopped sites make poor coordinators; fall back to the
+       unfiltered list only in the degenerate everyone-dead case. *)
+    let candidates =
+      match List.filter alive candidates with
+      | [] -> candidates
+      | live -> live
+    in
     let choice = List.nth candidates (t.rr mod List.length candidates) in
     t.rr <- t.rr + 1;
     choice
@@ -61,11 +68,11 @@ let pick_master t ~timeline ~now =
 let paused t ~timeline ~now =
   t.pause_during_cut && Partition.active_at timeline now
 
-let submit t ~timeline ~now job =
+let submit t ?alive ~timeline ~now job =
   if t.in_flight < t.window && not (paused t ~timeline ~now) then begin
     t.in_flight <- t.in_flight + 1;
     t.admitted <- t.admitted + 1;
-    `Admit (pick_master t ~timeline ~now)
+    `Admit (pick_master t ?alive ~timeline ~now ())
   end
   else if Queue.length t.queue < t.queue_limit then begin
     Queue.add job t.queue;
@@ -80,7 +87,7 @@ let complete t =
   if t.in_flight <= 0 then invalid_arg "Scheduler.complete: nothing in flight";
   t.in_flight <- t.in_flight - 1
 
-let next t ~timeline ~now =
+let next t ?alive ~timeline ~now () =
   if
     t.in_flight < t.window
     && (not (paused t ~timeline ~now))
@@ -89,7 +96,7 @@ let next t ~timeline ~now =
     let job = Queue.pop t.queue in
     t.in_flight <- t.in_flight + 1;
     t.admitted <- t.admitted + 1;
-    Some (job, pick_master t ~timeline ~now)
+    Some (job, pick_master t ?alive ~timeline ~now ())
   end
   else None
 

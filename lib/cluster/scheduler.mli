@@ -48,20 +48,29 @@ val create :
 
 val submit :
   'a t ->
+  ?alive:(Site_id.t -> bool) ->
   timeline:Partition.t ->
   now:Vtime.t ->
   'a ->
   [ `Admit of Site_id.t | `Enqueued | `Rejected ]
 (** Offer one transaction.  [`Admit master] claims a window slot and
     names the coordinator; [`Enqueued] parks it; [`Rejected] sheds it
-    (queue full). *)
+    (queue full).  [alive] (default: everyone) filters the rotation
+    candidates so crash-stopped sites are never picked as coordinators
+    (Fixed_master ignores it — a fixed dead master is the scenario the
+    policy is meant to expose). *)
 
 val complete : 'a t -> unit
 (** Release one window slot (a transaction settled).
     @raise Invalid_argument if nothing is in flight. *)
 
 val next :
-  'a t -> timeline:Partition.t -> now:Vtime.t -> ('a * Site_id.t) option
+  'a t ->
+  ?alive:(Site_id.t -> bool) ->
+  timeline:Partition.t ->
+  now:Vtime.t ->
+  unit ->
+  ('a * Site_id.t) option
 (** Pop the longest-queued transaction if a window slot is free (and
     admissions are not paused), claiming the slot. *)
 

@@ -1,0 +1,45 @@
+let ballot_zero = 0
+
+let make_ballot ~n ~site ~round =
+  if round < 1 then
+    invalid_arg (Printf.sprintf "Acceptor.make_ballot: round %d < 1" round);
+  ((round - 1) * n) + Site_id.to_int site
+
+let owner ~n b =
+  if b = 0 then Site_id.master else Site_id.of_int ((((b - 1) mod n) + 1))
+
+let round ~n b = if b = 0 then 0 else ((b - 1) / n) + 1
+
+type t = {
+  n : int;
+  mutable promised : int;
+  accepted : (int * bool) option array;  (* index = logical site - 1 *)
+}
+
+let create ~n = { n; promised = 0; accepted = Array.make n None }
+
+let promised t = t.promised
+
+let receive_poll t ~ballot =
+  if ballot < t.promised then `Stale
+  else begin
+    t.promised <- ballot;
+    let acc = ref [] in
+    for i = t.n - 1 downto 0 do
+      match t.accepted.(i) with
+      | None -> ()
+      | Some v -> acc := (Site_id.of_int (i + 1), v) :: !acc
+    done;
+    `Promise !acc
+  end
+
+let receive_vote t ~instance ~ballot ~prepared =
+  if ballot < t.promised then `Stale
+  else begin
+    t.promised <- ballot;
+    let i = Site_id.to_int instance - 1 in
+    (match t.accepted.(i) with
+    | Some (b, _) when b > ballot -> ()
+    | Some _ | None -> t.accepted.(i) <- Some (ballot, prepared));
+    `Accepted
+  end

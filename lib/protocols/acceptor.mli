@@ -1,0 +1,55 @@
+(** Ballot arithmetic and acceptor state for Paxos Commit.
+
+    One acceptor lives co-located on each acceptor site and serves every
+    consensus instance of the transaction (one instance per participant's
+    prepared/aborted vote).  Ballots are plain ints whose integer order is
+    exactly the lexicographic (round, site) order, so a would-be leader
+    always owns a ballot higher than anything it has seen by bumping the
+    round. *)
+
+(** {1 Ballots}
+
+    Ballot 0 is the initial leader's fast-path ballot (owned by the
+    logical master, site 1, at round 0).  For round [r >= 1] and site
+    [s] in [1..n], the ballot is [(r - 1) * n + s]. *)
+
+val ballot_zero : int
+(** [0]: the fast-path ballot every instance starts on. *)
+
+val make_ballot : n:int -> site:Site_id.t -> round:int -> int
+(** The ballot owned by [site] at escalation [round >= 1].
+    Raises [Invalid_argument] if [round < 1]. *)
+
+val owner : n:int -> int -> Site_id.t
+(** The site that owns a ballot: site 1 for ballot 0, else
+    [((b - 1) mod n) + 1]. *)
+
+val round : n:int -> int -> int
+(** The escalation round a ballot belongs to: 0 for ballot 0, else
+    [(b - 1) / n + 1]. *)
+
+(** {1 Acceptor state} *)
+
+type t
+(** Mutable acceptor state: a single promise ballot covering all
+    instances plus, per instance, the highest (ballot, prepared) value
+    accepted so far. *)
+
+val create : n:int -> t
+
+val promised : t -> int
+(** Highest ballot this acceptor has promised (0 initially — ballot-0
+    proposals are always admissible at a fresh acceptor). *)
+
+val receive_poll :
+  t -> ballot:int -> [ `Promise of (Site_id.t * (int * bool)) list | `Stale ]
+(** Phase 1a for all instances at once.  If [ballot >= promised], raise
+    the promise and return the accepted (ballot, prepared) value of every
+    non-free instance; instances absent from the list are free.
+    Otherwise [`Stale]. *)
+
+val receive_vote :
+  t -> instance:Site_id.t -> ballot:int -> prepared:bool -> [ `Accepted | `Stale ]
+(** Phase 2a.  If [ballot >= promised], record the value for [instance]
+    (accepting at [b] implies promising [b]) and answer [`Accepted];
+    otherwise [`Stale]. *)

@@ -29,7 +29,10 @@ let tag_of_msg = function
   | Types.Ack -> Some "ack"
   | Types.Commit_cmd -> Some "commit"
   | Types.Abort_cmd -> Some "abort"
-  | Types.Probe _ | Types.State_inquiry _ | Types.State_answer _ -> None
+  | Types.Probe _ | Types.State_inquiry _ | Types.State_answer _
+  | Types.Px_vote _ | Types.Px_accept _ | Types.Px_poll _ | Types.Px_promise _
+    ->
+      None
 
 let is_waiting machine id =
   (not (M.is_final machine id)) && M.receivable_tags machine id <> []

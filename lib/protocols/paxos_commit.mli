@@ -1,0 +1,29 @@
+(** Paxos Commit (Gray & Lamport, "Consensus on Transaction Commit").
+
+    One Paxos consensus instance per participant decides that
+    participant's prepared/aborted vote; the transaction commits iff
+    every instance chooses Prepared.  2F+1 acceptors are co-located on
+    the logical sites 1..min(2F+1, n) (a message to the local acceptor
+    is a function call, not a network send).  The logical master (site 1)
+    leads ballot 0; any participant whose escalation timer fires can
+    replace the leader by polling the acceptors at a higher ballot it
+    owns, so a coordinator crash or cut never blocks the protocol as
+    long as a majority of acceptors stays reachable.
+
+    At F=0 there is a single acceptor, co-located on the master: the
+    message pattern, timing, and decisions collapse exactly to
+    two-phase commit — and so does the blocking behaviour. *)
+
+module type RESILIENCE = sig
+  val f : int
+  (** Number of acceptor failures to tolerate; 2F+1 acceptor sites. *)
+end
+
+module Make (_ : RESILIENCE) : Site.S
+
+val protocol : Site.packed
+(** F = 1 (three acceptors on sites 1..3), registered as ["paxos"]. *)
+
+val protocol_f0 : Site.packed
+(** F = 0 (single acceptor on the master), registered as ["paxos-f0"];
+    the fast path that degenerates to 2PC. *)

@@ -225,7 +225,8 @@ module Make (W : WEIGHTS) = struct
         _,
         ( Types.Xact | Types.Yes | Types.No | Types.Pre_prepare
         | Types.Pre_ack | Types.Prepare | Types.Ack | Types.Probe _
-        | Types.Commit_cmd | Types.Abort_cmd ) ) ->
+        | Types.Commit_cmd | Types.Abort_cmd | Types.Px_vote _
+        | Types.Px_accept _ | Types.Px_poll _ | Types.Px_promise _ ) ) ->
         Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
           (state_name t)
 
@@ -239,7 +240,8 @@ module Make (W : WEIGHTS) = struct
             ()
         | Types.Xact | Types.Yes | Types.No | Types.Pre_prepare
         | Types.Pre_ack | Types.Prepare | Types.Ack | Types.Commit_cmd
-        | Types.Abort_cmd | Types.Probe _ ->
+        | Types.Abort_cmd | Types.Probe _ | Types.Px_vote _
+        | Types.Px_accept _ | Types.Px_poll _ | Types.Px_promise _ ->
             start_termination t
               ~why:
                 (Format.asprintf "UD(%a) returned" Types.pp_msg envelope.payload))

@@ -215,7 +215,8 @@ let on_msg t (envelope : Types.msg Network.envelope) =
   | ( _,
       _,
       ( Types.Xact | Types.Yes | Types.No | Types.Pre_prepare | Types.Pre_ack
-      | Types.Prepare | Types.Probe _ ) ) ->
+      | Types.Prepare | Types.Probe _ | Types.Px_vote _ | Types.Px_accept _
+      | Types.Px_poll _ | Types.Px_promise _ ) ) ->
       Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
         (state_name t)
 
@@ -228,7 +229,8 @@ let on_delivery t = function
           ()
       | Types.Xact | Types.Yes | Types.No | Types.Pre_prepare | Types.Pre_ack
       | Types.Prepare | Types.Ack | Types.Commit_cmd | Types.Abort_cmd
-      | Types.Probe _ ->
+      | Types.Probe _ | Types.Px_vote _ | Types.Px_accept _ | Types.Px_poll _
+      | Types.Px_promise _ ->
           if t.terminating = None then
             start_termination t
               ~why:

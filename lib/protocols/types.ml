@@ -33,6 +33,10 @@ type msg =
   | Probe of { trans_id : int; slave : Site_id.t }
   | State_inquiry of { coordinator : Site_id.t }
   | State_answer of { phase : phase }
+  | Px_vote of { instance : Site_id.t; ballot : int; prepared : bool }
+  | Px_accept of { instance : Site_id.t; ballot : int; prepared : bool }
+  | Px_poll of { ballot : int }
+  | Px_promise of { ballot : int; accepted : (Site_id.t * (int * bool)) list }
 
 let msg_tag = function
   | Xact -> "xact"
@@ -47,6 +51,10 @@ let msg_tag = function
   | Probe _ -> "probe"
   | State_inquiry _ -> "state-inquiry"
   | State_answer _ -> "state-answer"
+  | Px_vote _ -> "px-vote"
+  | Px_accept _ -> "px-accept"
+  | Px_poll _ -> "px-poll"
+  | Px_promise _ -> "px-promise"
 
 let pp_msg fmt = function
   | Probe { trans_id; slave } ->
@@ -54,6 +62,16 @@ let pp_msg fmt = function
   | State_inquiry { coordinator } ->
       Format.fprintf fmt "state-inquiry(%a)" Site_id.pp coordinator
   | State_answer { phase } -> Format.fprintf fmt "state-answer(%a)" pp_phase phase
+  | Px_vote { instance; ballot; prepared } ->
+      Format.fprintf fmt "px-vote(i%a,b%d,%s)" Site_id.pp instance ballot
+        (if prepared then "prepared" else "aborted")
+  | Px_accept { instance; ballot; prepared } ->
+      Format.fprintf fmt "px-accept(i%a,b%d,%s)" Site_id.pp instance ballot
+        (if prepared then "prepared" else "aborted")
+  | Px_poll { ballot } -> Format.fprintf fmt "px-poll(b%d)" ballot
+  | Px_promise { ballot; accepted } ->
+      Format.fprintf fmt "px-promise(b%d,%d accepted)" ballot
+        (List.length accepted)
   | (Xact | Yes | No | Pre_prepare | Pre_ack | Prepare | Ack | Commit_cmd
     | Abort_cmd) as m ->
       Format.pp_print_string fmt (msg_tag m)

@@ -4,7 +4,9 @@
     protocol simply never sends the tags it does not use.  [Probe] is the
     termination protocol's probe(trans_id, slave_id) message
     (Section 5.3); [State_inquiry]/[State_answer] belong to the
-    quorum-commit baseline's termination rule. *)
+    quorum-commit baseline's termination rule; the [Px_*] family carries
+    Paxos Commit (Gray & Lamport), one consensus instance per
+    participant's prepared/aborted vote. *)
 
 type decision = Commit | Abort
 
@@ -35,6 +37,19 @@ type msg =
   | State_inquiry of { coordinator : Site_id.t }
       (** quorum termination: the elected in-group coordinator polls *)
   | State_answer of { phase : phase }
+  | Px_vote of { instance : Site_id.t; ballot : int; prepared : bool }
+      (** Paxos phase 2a: the ballot leader (or, at ballot 0, the
+          instance's own participant) proposes a vote value for
+          [instance] to an acceptor *)
+  | Px_accept of { instance : Site_id.t; ballot : int; prepared : bool }
+      (** Paxos phase 2b: acceptor -> ballot leader; the acceptor's
+          identity is the envelope source *)
+  | Px_poll of { ballot : int }
+      (** Paxos phase 1a for every instance at once: a would-be leader
+          asks acceptors to promise ballot [ballot] *)
+  | Px_promise of { ballot : int; accepted : (Site_id.t * (int * bool)) list }
+      (** Paxos phase 1b: per non-free instance, the highest
+          (ballot, prepared) value this acceptor has accepted *)
 
 val pp_msg : Format.formatter -> msg -> unit
 

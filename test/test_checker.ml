@@ -93,6 +93,7 @@ let test_configs_product () =
       delays = [ Delay.minimal ];
       seeds = [ 1L; 2L ];
       votes = [ [] ];
+      crashes = [ [] ];
     }
   in
   let configs = Scenario.configs ~base grid in
@@ -131,6 +132,7 @@ let tiny_grid ~n =
       delays = [ Delay.full ~t_max:t_unit ];
       seeds = [ 1L ];
       votes = [ [] ];
+      crashes = [ [] ];
     }
 
 let test_sweep_accounting () =

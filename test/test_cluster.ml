@@ -34,9 +34,9 @@ let test_scheduler_window () =
   check Alcotest.int "queued" 2 (Scheduler.queued s);
   check Alcotest.int "rejected" 1 (Scheduler.rejected s);
   (* nothing pops while the window is full *)
-  check Alcotest.bool "no pop" true (Scheduler.next s ~timeline ~now = None);
+  check Alcotest.bool "no pop" true (Scheduler.next s ~timeline ~now () = None);
   Scheduler.complete s;
-  (match Scheduler.next s ~timeline ~now with
+  (match Scheduler.next s ~timeline ~now () with
   | Some ("c", _) -> ()
   | Some _ -> Alcotest.fail "FIFO order violated"
   | None -> Alcotest.fail "slot free but nothing popped");
@@ -85,9 +85,9 @@ let test_scheduler_pause () =
   | `Enqueued -> ()
   | `Admit _ | `Rejected -> Alcotest.fail "paused scheduler must enqueue");
   check Alcotest.bool "still paused" true
-    (Scheduler.next s ~timeline ~now:(t 1) = None);
+    (Scheduler.next s ~timeline ~now:(t 1) () = None);
   check Alcotest.bool "drains after heal" true
-    (Scheduler.next s ~timeline ~now:(t 2) <> None)
+    (Scheduler.next s ~timeline ~now:(t 2) () <> None)
 
 (* ------------------------------------------------------------------ *)
 (* Auditor                                                             *)
