@@ -1105,56 +1105,104 @@ let wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let jobs_from_argv () =
-  let jobs = ref (Domain.recommended_domain_count ()) in
-  Array.iteri
-    (fun i arg ->
-      if (arg = "--jobs" || arg = "-j") && i + 1 < Array.length Sys.argv then
-        match int_of_string_opt Sys.argv.(i + 1) with
-        | Some n when n >= 1 -> jobs := n
-        | Some _ | None -> ())
-    Sys.argv;
-  !jobs
-
 let has_flag name = Array.exists (String.equal name) Sys.argv
 
-let parallel_sweeps () =
-  let jobs = jobs_from_argv () in
+let grid_from_argv ~smoke () =
+  let v = ref (if smoke then "small" else "large") in
+  Array.iteri
+    (fun i arg ->
+      if arg = "--grid" && i + 1 < Array.length Sys.argv then
+        v := Sys.argv.(i + 1))
+    Sys.argv;
+  match !v with
+  | "large" -> `Large
+  | "small" -> `Small
+  | other ->
+      Printf.eprintf "warning: unknown --grid %s (want small|large)\n%!" other;
+      if smoke then `Small else `Large
+
+(* The jobs-curve bench: run the same sweep at 1/2/4/8 jobs and record
+   wall time, per-domain throughput and byte-identity against the
+   jobs=1 leg.  [run jobs] produces the summary; [to_json] serialises
+   it (the identity check); effective domains are clamped exactly as
+   the sweeps clamp. *)
+let jobs_curve ~name ~runs ~jobs_list ~run ~to_json =
   let recommended = Domain.recommended_domain_count () in
-  let jobs_clamped = jobs > recommended in
-  if jobs_clamped then
-    Printf.eprintf
-      "warning: --jobs %d exceeds Domain.recommended_domain_count () = %d; \
-       domains will time-slice, expect speedup < 1\n%!"
-      jobs recommended;
+  let legs =
+    List.map
+      (fun jobs ->
+        let summary, secs = wall (fun () -> run jobs) in
+        (jobs, Stdlib.min jobs recommended, secs, to_json summary))
+      jobs_list
+  in
+  let base_secs, base_json =
+    match legs with
+    | (_, _, secs, json) :: _ -> (secs, json)
+    | [] -> invalid_arg "jobs_curve: empty jobs list"
+  in
+  row "  %s (%d runs):@." name runs;
+  let leg_json =
+    List.map
+      (fun (jobs, domains, secs, json) ->
+        let rps = float_of_int runs /. secs in
+        let identical = String.equal base_json json in
+        row
+          "    --jobs %d (%d domain%s)  %.3fs  %.0f runs/s  (%.0f per \
+           domain)  speedup %.2fx  identical %b@."
+          jobs domains
+          (if domains = 1 then "" else "s")
+          secs rps
+          (rps /. float_of_int domains)
+          (base_secs /. secs) identical;
+        if not identical then
+          row "  *** NONDETERMINISM: --jobs %d differs from --jobs 1 ***@."
+            jobs;
+        Export.Obj
+          [
+            ("jobs", Export.Int jobs);
+            ("domains", Export.Int domains);
+            ("seconds", Export.Float secs);
+            ("runs_per_sec", Export.Float rps);
+            ( "per_domain_runs_per_sec",
+              Export.Float (rps /. float_of_int domains) );
+            ("speedup", Export.Float (base_secs /. secs));
+            ("identical", Export.Bool identical);
+          ])
+      legs
+  in
+  Export.Obj [ ("runs", Export.Int runs); ("curve", Export.List leg_json) ]
+
+let parallel_sweeps ~smoke () =
+  let recommended = Domain.recommended_domain_count () in
+  let grid_size = grid_from_argv ~smoke () in
+  let grid_name = match grid_size with `Small -> "small" | `Large -> "large" in
+  let jobs_list = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
   section
     (Printf.sprintf
-       "Domain-parallel sweeps — sequential vs. --jobs %d (%d core%s)" jobs
-       (Domain.recommended_domain_count ())
-       (if Domain.recommended_domain_count () = 1 then "" else "s"));
-  (* Checker sweep: the Theorem-9 grid for the termination protocol. *)
-  let grid = static_grid ~n:3 @ static_grid ~n:4 in
-  let runs = List.length grid in
-  let seq, seq_s =
-    wall (fun () -> Sweep.run (module Termination.Static) grid)
+       "Domain-parallel sweeps — jobs curve %s on the %s grid (%d \
+        recommended domain%s)"
+       (String.concat "/" (List.map string_of_int jobs_list))
+       grid_name recommended
+       (if recommended = 1 then "" else "s"));
+  (* Checker sweep: the Theorem-9 grid for the termination protocol;
+     --grid large crosses it with heal timelines and ten seeds. *)
+  let grid =
+    match grid_size with
+    | `Small -> static_grid ~n:3 @ static_grid ~n:4
+    | `Large ->
+        let configs ~n =
+          Scenario.configs ~base:(base_config ~n ())
+            (Scenario.large_grid ~n ~t_unit)
+        in
+        configs ~n:3 @ configs ~n:4
   in
-  let par, par_s =
-    wall (fun () -> Sweep.run ~jobs (module Termination.Static) grid)
+  let sweep_json =
+    jobs_curve ~name:"checker sweep" ~runs:(List.length grid) ~jobs_list
+      ~run:(fun jobs -> Sweep.run ~jobs (module Termination.Static) grid)
+      ~to_json:(fun s -> Export.to_string (Export.of_summary s))
   in
-  let seq_json = Export.to_string (Export.of_summary seq) in
-  let par_json = Export.to_string (Export.of_summary par) in
-  let sweep_identical = String.equal seq_json par_json in
-  let speedup = seq_s /. par_s in
-  row "  checker sweep (%d runs):@." runs;
-  row "    sequential %.3fs (%.0f runs/s)   --jobs %d  %.3fs (%.0f runs/s)@."
-    seq_s
-    (float_of_int runs /. seq_s)
-    jobs par_s
-    (float_of_int runs /. par_s)
-    ;
-  row "    speedup %.2fx, summaries byte-identical: %b@." speedup
-    sweep_identical;
-  (* Cluster sweep: seeds x timelines, one runtime per task. *)
+  (* Cluster sweep: seeds x timelines x policies x protocols, one
+     runtime per task. *)
   let module Cluster = Commit_cluster in
   let base =
     {
@@ -1173,57 +1221,42 @@ let parallel_sweeps () =
       ~n:3 ()
   in
   let cgrid =
-    {
-      Cluster.Cluster_sweep.base;
-      seeds = List.init 6 (fun i -> Int64.of_int (i + 1));
-      timelines = [ ("none", Partition.none); ("cut-80T", cut) ];
-      policies = [ Cluster.Scheduler.Partition_aware ];
-    }
+    match grid_size with
+    | `Small ->
+        {
+          Cluster.Cluster_sweep.base;
+          seeds = List.init 6 (fun i -> Int64.of_int (i + 1));
+          timelines = [ ("none", Partition.none); ("cut-80T", cut) ];
+          policies = [ Cluster.Scheduler.Partition_aware ];
+          protocols = [];
+        }
+    | `Large ->
+        {
+          Cluster.Cluster_sweep.base;
+          seeds = List.init 10 (fun i -> Int64.of_int (i + 1));
+          timelines = [ ("none", Partition.none); ("cut-80T", cut) ];
+          policies =
+            Cluster.Scheduler.[ Fixed_master; Round_robin; Partition_aware ];
+          protocols =
+            [
+              ("transient", (module Termination.Transient : Site.S));
+              ("paxos", Paxos_commit.protocol);
+            ];
+        }
   in
   let cruns = List.length (Cluster.Cluster_sweep.tasks cgrid) in
-  let cseq, cseq_s = wall (fun () -> Cluster.Cluster_sweep.run cgrid) in
-  let cpar, cpar_s = wall (fun () -> Cluster.Cluster_sweep.run ~jobs cgrid) in
-  let cseq_json = Export.to_string (Cluster.Cluster_sweep.to_json cseq) in
-  let cpar_json = Export.to_string (Cluster.Cluster_sweep.to_json cpar) in
-  let cluster_identical = String.equal cseq_json cpar_json in
-  let cspeedup = cseq_s /. cpar_s in
-  row "  cluster sweep (%d runtimes):@." cruns;
-  row "    sequential %.3fs (%.1f runs/s)   --jobs %d  %.3fs (%.1f runs/s)@."
-    cseq_s
-    (float_of_int cruns /. cseq_s)
-    jobs cpar_s
-    (float_of_int cruns /. cpar_s);
-  row "    speedup %.2fx, JSON byte-identical: %b@." cspeedup cluster_identical;
-  if not (sweep_identical && cluster_identical) then
-    row "  *** NONDETERMINISM: parallel output differs from sequential ***@.";
+  let cluster_json =
+    jobs_curve ~name:"cluster sweep" ~runs:cruns ~jobs_list
+      ~run:(fun jobs -> Cluster.Cluster_sweep.run ~jobs cgrid)
+      ~to_json:(fun s -> Export.to_string (Cluster.Cluster_sweep.to_json s))
+  in
   let bench_json =
     Export.Obj
       [
-        ("jobs", Export.Int jobs);
-        ("recommended_domains", Export.Int (Domain.recommended_domain_count ()));
-        ("jobs_clamped", Export.Bool jobs_clamped);
-        ( "sweep",
-          Export.Obj
-            [
-              ("runs", Export.Int runs);
-              ("seq_seconds", Export.Float seq_s);
-              ("par_seconds", Export.Float par_s);
-              ("seq_runs_per_sec", Export.Float (float_of_int runs /. seq_s));
-              ("par_runs_per_sec", Export.Float (float_of_int runs /. par_s));
-              ("speedup", Export.Float speedup);
-              ("identical", Export.Bool sweep_identical);
-            ] );
-        ( "cluster",
-          Export.Obj
-            [
-              ("runs", Export.Int cruns);
-              ("seq_seconds", Export.Float cseq_s);
-              ("par_seconds", Export.Float cpar_s);
-              ("seq_runs_per_sec", Export.Float (float_of_int cruns /. cseq_s));
-              ("par_runs_per_sec", Export.Float (float_of_int cruns /. cpar_s));
-              ("speedup", Export.Float cspeedup);
-              ("identical", Export.Bool cluster_identical);
-            ] );
+        ("grid", Export.String grid_name);
+        ("recommended_domains", Export.Int recommended);
+        ("sweep", sweep_json);
+        ("cluster", cluster_json);
       ]
   in
   let oc = open_out "BENCH_sweep.json" in
@@ -1593,6 +1626,7 @@ let () =
   if has_flag "--engine-only" then engine_bench ~smoke ()
   else if has_flag "--obs-overhead" then obs_bench ~smoke ()
   else if has_flag "--paxos-only" then paxos_bench ~smoke ()
+  else if has_flag "--sweep-only" then parallel_sweeps ~smoke ()
   else begin
   fig1 ();
   fig2 ();
@@ -1616,7 +1650,7 @@ let () =
   latency_distribution ();
   scalability ();
   cluster_throughput ();
-  parallel_sweeps ();
+  parallel_sweeps ~smoke ();
   engine_bench ~smoke ();
   obs_bench ~smoke ();
   microbenchmarks ()

@@ -96,8 +96,20 @@ let jobs_arg =
           "Worker domains for the sweep (default: the machine's \
            recommended domain count). Must be >= 1; the result is \
            identical for every value. Values above the recommended \
-           domain count are kept, but a stderr warning notes that the \
-           domains will time-slice (expect speedup < 1).")
+           domain count are clamped to it (extra domains would only \
+           time-slice); a stderr warning notes the clamp.")
+
+let grid_arg =
+  Arg.(
+    value
+    & opt (enum [ ("small", `Small); ("large", `Large) ]) `Small
+    & info [ "grid" ] ~docv:"SIZE"
+        ~doc:
+          "Sweep grid size: $(b,small) (the default grid) or $(b,large) \
+           (the saturation grid — heal timelines and ten seeds for \
+           checker sweeps; seeds 1..8, every policy and a no-partition \
+           baseline for cluster sweeps). The summary format is the same; \
+           large just gives parallel domains enough work to matter.")
 
 (* Invalid --jobs gets the same treatment as an invalid timeline: a
    clean message plus a usage line, exit 2. *)
@@ -110,9 +122,10 @@ let resolve_jobs ~subcommand = function
       if n > recommended then
         Printf.eprintf
           "warning: --jobs %d exceeds Domain.recommended_domain_count () = \
-           %d; domains will time-slice, expect speedup < 1\n\
+           %d; the sweep clamps to %d executors (the summary is identical \
+           either way)\n\
            %!"
-          n recommended;
+          n recommended recommended;
       n
   | Some n ->
       Format.eprintf "invalid --jobs %d: need a positive domain count@." n;
@@ -295,11 +308,15 @@ let sweep_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
   in
-  let run protocol n t heals json jobs =
+  let run protocol n t heals grid_size json jobs =
     let jobs = resolve_jobs ~subcommand:"sweep" jobs in
     let t_unit = Vtime.of_int t in
     let base = Runner.default_config ~n ~t_unit () in
-    let grid = Scenario.default_grid ~n ~t_unit in
+    let grid =
+      match grid_size with
+      | `Small -> Scenario.default_grid ~n ~t_unit
+      | `Large -> Scenario.large_grid ~n ~t_unit
+    in
     let grid =
       if heals = [] then grid
       else
@@ -318,8 +335,8 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc)
     Term.(
-      const run $ protocol_arg $ n_arg $ t_arg $ heals_arg $ json_arg
-      $ jobs_arg)
+      const run $ protocol_arg $ n_arg $ t_arg $ heals_arg $ grid_arg
+      $ json_arg $ jobs_arg)
 
 let analyze_cmd =
   let doc = "Static FSA analysis: concurrency sets, Lemma 1/2, Rule(a)/(b)." in
@@ -751,8 +768,8 @@ let cluster_cmd =
              of just $(b,--policy).")
   in
   let run protocol n t g2 cuts heals seed delay pessimistic duration drain load
-      window queue_limit policy pause crashes json quiet seeds all_policies jobs
-      spans =
+      window queue_limit policy pause crashes json quiet seeds all_policies
+      grid_size jobs spans =
     let t_unit = Vtime.of_int t in
     let resolve = function
       | `T v -> Vtime.of_int (v * t)
@@ -812,6 +829,14 @@ let cluster_cmd =
             crashes;
       }
     in
+    (* --grid large turns the cluster run into a sweep even without
+       --seeds: seeds 1..8, every policy, and a no-partition baseline
+       timeline alongside the requested one. *)
+    let seeds =
+      match (seeds, grid_size) with
+      | [], `Large -> List.init 8 (fun i -> Int64.of_int (i + 1))
+      | seeds, _ -> seeds
+    in
     match seeds with
     | [] ->
         let obs =
@@ -843,17 +868,23 @@ let cluster_cmd =
           exit 2
         end;
         let jobs = resolve_jobs ~subcommand:"cluster" jobs in
+        let requested = (Format.asprintf "%a" Partition.pp timeline, timeline) in
         let grid =
           {
             Cluster.Cluster_sweep.base = config;
             seeds;
             timelines =
-              [ (Format.asprintf "%a" Partition.pp timeline, timeline) ];
+              (match grid_size with
+              | `Small -> [ requested ]
+              | `Large ->
+                  if cuts = [] then [ requested ]
+                  else [ ("none", Partition.none); requested ]);
             policies =
-              (if all_policies then
+              (if all_policies || grid_size = `Large then
                  Cluster.Scheduler.
                    [ Fixed_master; Round_robin; Partition_aware ]
                else [ policy ]);
+            protocols = [];
           }
         in
         let summary =
@@ -875,7 +906,7 @@ let cluster_cmd =
       $ cluster_heal_arg $ seed_arg $ delay_arg $ pessimistic_arg
       $ duration_arg $ drain_arg $ load_arg $ window_arg $ queue_limit_arg
       $ policy_arg $ pause_arg $ crash_arg $ json_arg $ quiet_arg $ seeds_arg
-      $ all_policies_arg $ jobs_arg $ spans_arg)
+      $ all_policies_arg $ grid_arg $ jobs_arg $ spans_arg)
 
 let list_cmd =
   let doc = "List available protocols and subcommands." in

@@ -42,6 +42,29 @@ let default_grid ~n ~t_unit =
     crashes = [ [] ];
   }
 
+(* The saturation grid: everything in [default_grid] crossed with heal
+   timelines and ten seeds — tens of thousands of runs once a couple of
+   protocols and site counts are in play, which is what a multi-core
+   box needs before domain parallelism has anything to chew on. *)
+let large_grid ~n ~t_unit =
+  let t = Vtime.to_int t_unit in
+  {
+    cuts = all_cuts ~n;
+    starts = instants ~t_unit ~until_mult:8 ~per_t:4;
+    heals_after =
+      [
+        None;
+        Some (Vtime.of_int t);
+        Some (Vtime.of_int (3 * t));
+        Some (Vtime.of_int (6 * t));
+      ];
+    delays =
+      [ Delay.minimal; Delay.full ~t_max:t_unit; Delay.uniform ~t_max:t_unit ];
+    seeds = List.init 10 (fun i -> Int64.of_int (i + 1));
+    votes = [ [] ];
+    crashes = [ [] ];
+  }
+
 let master_crash_grid ~t_unit =
   {
     cuts = [ Site_id.Set.empty ];

@@ -38,6 +38,12 @@ val default_grid : n:int -> t_unit:Vtime.t -> grid
 (** All cuts; instants at 4/T over 8T; static; minimal+full+uniform
     delays; 3 seeds; all-yes votes; no crashes. *)
 
+val large_grid : n:int -> t_unit:Vtime.t -> grid
+(** The saturation grid ([--grid large]): {!default_grid} crossed with
+    heal timelines (static, heal after 1T/3T/6T) and seeds 1..10 —
+    11,520 configs at n=3, 26,880 at n=4.  Same move space, just dense
+    enough that a multi-core sweep has real work per domain. *)
+
 val master_crash_grid : t_unit:Vtime.t -> grid
 (** No link cuts; instead the master crash-stops at 2 instants per T
     over 6T, across the three delay models and three seeds.  Usable by

@@ -13,10 +13,11 @@ type summary = {
 }
 
 let run_verdicts ?(trace = false) protocol configs =
+  let scratch = Runner.make_scratch () in
   List.map
     (fun config ->
       let config = { config with Runner.trace_enabled = trace } in
-      let result = Runner.run protocol config in
+      let result = Runner.run ~scratch protocol config in
       (config, Verdict.of_result result))
     configs
 
@@ -63,8 +64,24 @@ let of_verdict ~protocol (config, (v : Verdict.t)) =
       (match v.max_decision_time with Some at -> Vtime.to_int at | None -> 0);
   }
 
-let take keep l =
-  if List.length l <= keep then l else List.filteri (fun i _ -> i < keep) l
+(* First [keep] elements of [a @ b] in O(keep) work: lengths are
+   counted only up to [keep + 1] (never a full [List.length] scan), the
+   append is never materialised beyond the cap, and a left list that
+   already fills the cap is returned physically unchanged — so an
+   at-cap accumulator is never rebuilt by later merges. *)
+let rec prefix budget l =
+  if budget = 0 then []
+  else match l with [] -> [] | x :: rest -> x :: prefix (budget - 1) rest
+
+let cap_append ~keep a b =
+  let rec len_capped n l =
+    if n > keep then n
+    else match l with [] -> n | _ :: rest -> len_capped (n + 1) rest
+  in
+  let la = len_capped 0 a in
+  if la > keep then prefix keep a
+  else if la = keep || b == [] then a
+  else match prefix (keep - la) b with [] -> a | extra -> a @ extra
 
 let merge ~keep a b =
   {
@@ -80,37 +97,53 @@ let merge ~keep a b =
       | None, later | later, None -> later
       | Some p, Some q -> Some (Vtime.max p q));
     total_decision_time = a.total_decision_time + b.total_decision_time;
-    violation_examples = take keep (a.violation_examples @ b.violation_examples);
-    blocked_examples = take keep (a.blocked_examples @ b.blocked_examples);
+    violation_examples =
+      cap_append ~keep a.violation_examples b.violation_examples;
+    blocked_examples = cap_append ~keep a.blocked_examples b.blocked_examples;
   }
+
+let eval ~protocol ~protocol_name ~trace scratch config =
+  let config = { config with Runner.trace_enabled = trace } in
+  let result = Runner.run ~scratch protocol config in
+  of_verdict ~protocol:protocol_name (config, Verdict.of_result result)
 
 let run ?(keep = 3) ?jobs ?(trace = false) protocol configs =
   let protocol_name = Site.name protocol in
-  let eval config =
-    let config = { config with Runner.trace_enabled = trace } in
-    let result = Runner.run protocol config in
-    of_verdict ~protocol:protocol_name (config, Verdict.of_result result)
+  let eval = eval ~protocol ~protocol_name ~trace in
+  let sequential () =
+    (* Same scratch reuse as the parallel path, so jobs=1 pays the same
+       per-run cost as one executor of a pool. *)
+    let scratch = Runner.make_scratch () in
+    List.fold_left
+      (fun acc config -> merge ~keep acc (eval scratch config))
+      (empty ~protocol:protocol_name)
+      configs
   in
   match jobs with
   | Some j when j < 1 -> invalid_arg "Sweep.run: jobs must be >= 1"
-  | None | Some 1 ->
-      List.fold_left
-        (fun acc config -> merge ~keep acc (eval config))
-        (empty ~protocol:protocol_name)
-        configs
+  | None | Some 1 -> sequential ()
   | Some j -> (
-      match Array.of_list configs with
-      | [||] -> empty ~protocol:protocol_name
-      | configs ->
-          (* Chunks fine enough to balance uneven run costs, coarse
-             enough to amortise dispatch; any choice yields the same
-             summary (the merge is associative and in task order). *)
-          let chunk =
-            Stdlib.max 1 ((Array.length configs + (4 * j) - 1) / (4 * j))
-          in
-          Commit_par.Pool.with_pool ~domains:j (fun pool ->
-              Commit_par.Pool.map_reduce pool ~chunk eval ~merge:(merge ~keep)
-                configs))
+      (* Beyond the recommended domain count extra domains only
+         time-slice (and fight the stop-the-world minor GC), and the
+         summary is identical either way, so clamp: --jobs is purely a
+         performance knob. *)
+      let domains = Stdlib.min j (Commit_par.Pool.default_jobs ()) in
+      if domains = 1 then sequential ()
+      else
+        match Array.of_list configs with
+        | [||] -> empty ~protocol:protocol_name
+        | configs ->
+            (* Chunks fine enough to balance uneven run costs, coarse
+               enough to amortise dispatch; any choice yields the same
+               summary (the merge is associative and in task order). *)
+            let chunk =
+              Stdlib.max 1
+                ((Array.length configs + (4 * domains) - 1) / (4 * domains))
+            in
+            Commit_par.Pool.with_pool ~domains (fun pool ->
+                Commit_par.Pool.map_reduce_scratch pool ~chunk
+                  ~init:Runner.make_scratch ~f:eval ~merge:(merge ~keep)
+                  configs))
 
 let mean_decision_time s =
   let decided = s.runs - s.undecided in

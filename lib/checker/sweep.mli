@@ -40,9 +40,17 @@ val run :
 (** Runs every config (with tracing off by default — grids are large)
     and keeps up to [keep] (default 3) example configs per failure
     class.  [jobs] (default 1 = sequential, no domains spawned) runs the
-    grid on a {!Commit_par.Pool} of that many domains; the summary is
-    identical for every value.
+    grid on a {!Commit_par.Pool}; the effective executor count is
+    [min jobs (Pool.default_jobs ())] — beyond the recommended domain
+    count extra domains only time-slice, and since the summary is
+    identical for every [jobs], the flag is purely a performance knob.
+    Every executor (including the sequential path) reuses one
+    {!Runner.scratch} across all its runs.
     @raise Invalid_argument if [jobs < 1]. *)
+
+val of_verdict : protocol:string -> Runner.config * Verdict.t -> summary
+(** The summary of one run: the unit the parallel merge folds over.
+    [merge]-ing per-run summaries in task order reproduces {!run}. *)
 
 val merge : keep:int -> summary -> summary -> summary
 (** The exact merge the parallel path folds with: counts add, the max

@@ -6,22 +6,45 @@ type grid = {
   seeds : int64 list;
   timelines : (string * Partition.t) list;
   policies : Scheduler.policy list;
+  protocols : (string * Site.packed) list;
 }
 
+(* Labels are lazy ({!Label.Dynamic}): a clean run never renders its
+   label, so a sweep of thousands of runtimes does no sprintf work
+   unless something actually fails (or a caller forces them for
+   display). *)
 let tasks grid =
+  let protocols =
+    match grid.protocols with
+    | [] -> [ (None, grid.base.Runtime.protocol) ]
+    | ps -> List.map (fun (name, p) -> (Some name, p)) ps
+  in
   List.concat_map
     (fun (timeline_label, timeline) ->
       List.concat_map
         (fun policy ->
-          List.map
-            (fun seed ->
-              let label =
-                Printf.sprintf "%s/%s/seed=%Ld" timeline_label
-                  (Scheduler.policy_name policy)
-                  seed
-              in
-              (label, { grid.base with Runtime.timeline; policy; seed }))
-            grid.seeds)
+          List.concat_map
+            (fun (protocol_label, protocol) ->
+              List.map
+                (fun seed ->
+                  let label =
+                    Label.Dynamic
+                      (fun () ->
+                        match protocol_label with
+                        | None ->
+                            Printf.sprintf "%s/%s/seed=%Ld" timeline_label
+                              (Scheduler.policy_name policy)
+                              seed
+                        | Some pname ->
+                            Printf.sprintf "%s/%s/%s/seed=%Ld" timeline_label
+                              (Scheduler.policy_name policy)
+                              pname seed)
+                  in
+                  ( label,
+                    { grid.base with Runtime.timeline; policy; protocol; seed }
+                  ))
+                grid.seeds)
+            protocols)
         grid.policies)
     grid.timelines
 
@@ -65,12 +88,26 @@ let of_report ~label (report : Runtime.report) =
     probes = report.probes;
     atomic_runs = (if atomic then 1 else 0);
     clean_runs = (if clean then 1 else 0);
-    failures = (if clean then [] else [ label ]);
+    failures = (if clean then [] else [ Label.force label ]);
     metrics = report.metrics;
   }
 
-let take keep l =
-  if List.length l <= keep then l else List.filteri (fun i _ -> i < keep) l
+(* First [keep] of [a @ b] in O(keep) work — same shape as
+   [Sweep.cap_append]: no full-length scans, and an at-cap left list is
+   returned physically unchanged. *)
+let rec prefix budget l =
+  if budget = 0 then []
+  else match l with [] -> [] | x :: rest -> x :: prefix (budget - 1) rest
+
+let cap_append ~keep a b =
+  let rec len_capped n l =
+    if n > keep then n
+    else match l with [] -> n | _ :: rest -> len_capped (n + 1) rest
+  in
+  let la = len_capped 0 a in
+  if la > keep then prefix keep a
+  else if la = keep || b == [] then a
+  else match prefix (keep - la) b with [] -> a | extra -> a @ extra
 
 (* Associative; consumes [a]'s metrics pipeline (each partial is owned
    by exactly one domain at a time — see Pool.map_reduce). *)
@@ -92,28 +129,41 @@ let merge ~keep a b =
     probes = a.probes + b.probes;
     atomic_runs = a.atomic_runs + b.atomic_runs;
     clean_runs = a.clean_runs + b.clean_runs;
-    failures = take keep (a.failures @ b.failures);
+    failures = cap_append ~keep a.failures b.failures;
     metrics = a.metrics;
   }
+
+let eval scratch (label, config) =
+  of_report ~label (Runtime.run ~scratch config)
 
 let run ?(keep = 5) ?jobs grid =
   let tasks = tasks grid in
   if tasks = [] then invalid_arg "Cluster_sweep.run: empty grid";
-  let eval (label, config) = of_report ~label (Runtime.run config) in
+  let sequential () =
+    let scratch = Runtime.make_scratch () in
+    match List.map (eval scratch) tasks with
+    | [] -> assert false
+    | first :: rest -> List.fold_left (merge ~keep) first rest
+  in
   match jobs with
   | Some j when j < 1 -> invalid_arg "Cluster_sweep.run: jobs must be >= 1"
-  | None | Some 1 -> (
-      match List.map eval tasks with
-      | [] -> assert false
-      | first :: rest -> List.fold_left (merge ~keep) first rest)
+  | None | Some 1 -> sequential ()
   | Some j ->
-      let tasks = Array.of_list tasks in
-      (* One runtime per task is already coarse; chunk just finely
-         enough to balance uneven run costs across the domains. *)
-      let chunk = Stdlib.max 1 ((Array.length tasks + (2 * j) - 1) / (2 * j)) in
-      Commit_par.Pool.with_pool ~domains:j (fun pool ->
-          Commit_par.Pool.map_reduce pool ~chunk eval ~merge:(merge ~keep)
-            tasks)
+      (* Clamp to the recommended domain count — the summary is
+         identical for every [jobs], so the flag is purely a
+         performance knob (see Sweep.run). *)
+      let domains = Stdlib.min j (Commit_par.Pool.default_jobs ()) in
+      if domains = 1 then sequential ()
+      else
+        let tasks = Array.of_list tasks in
+        (* One runtime per task is already coarse; chunk just finely
+           enough to balance uneven run costs across the domains. *)
+        let chunk =
+          Stdlib.max 1 ((Array.length tasks + (2 * domains) - 1) / (2 * domains))
+        in
+        Commit_par.Pool.with_pool ~domains (fun pool ->
+            Commit_par.Pool.map_reduce_scratch pool ~chunk
+              ~init:Runtime.make_scratch ~f:eval ~merge:(merge ~keep) tasks)
 
 let clean s = s.clean_runs = s.runs
 

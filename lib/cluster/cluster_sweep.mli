@@ -14,16 +14,20 @@
 type grid = {
   base : Runtime.config;
       (** every task starts from this config; the axes below override
-          [seed], [timeline] and [policy] *)
+          [seed], [timeline], [policy] and [protocol] *)
   seeds : int64 list;
   timelines : (string * Partition.t) list;  (** label × timeline *)
   policies : Scheduler.policy list;
+  protocols : (string * Site.packed) list;
+      (** label × protocol; [[]] means "just [base.protocol]" and keeps
+          the protocol name out of the task labels *)
 }
 
-val tasks : grid -> (string * Runtime.config) list
+val tasks : grid -> (Label.t * Runtime.config) list
 (** The grid flattened in deterministic task order (timelines outer,
-    then policies, then seeds), each with a stable
-    ["timeline/policy/seed=N"] label. *)
+    then policies, then protocols, then seeds), each with a stable
+    ["timeline/policy(/protocol)/seed=N"] label.  Labels are lazy — a
+    clean run never renders one. *)
 
 type summary = {
   runs : int;
@@ -50,8 +54,21 @@ type summary = {
 val run : ?keep:int -> ?jobs:int -> grid -> summary
 (** Runs every task and merges.  [keep] (default 5) caps [failures];
     [jobs] (default 1 = sequential) fans tasks across a
-    {!Commit_par.Pool} of that many domains.
+    {!Commit_par.Pool}, clamped to [Pool.default_jobs ()] effective
+    executors (the summary is identical for every [jobs], so the flag
+    is purely a performance knob).  Every executor reuses one
+    {!Runtime.scratch} across its runs.
     @raise Invalid_argument if the grid is empty or [jobs < 1]. *)
+
+val of_report : label:Label.t -> Runtime.report -> summary
+(** The summary of one run: the unit the parallel merge folds over
+    ([label] is rendered only when the run is not clean). *)
+
+val merge : keep:int -> summary -> summary -> summary
+(** The exact merge the parallel path folds with: counts add, metrics
+    pipelines fold through {!Metrics.merge_into} (consuming the left
+    argument's pipeline), and [failures] concatenate in task order
+    truncated to [keep].  Associative. *)
 
 val clean : summary -> bool
 (** [clean_runs = runs]. *)

@@ -84,6 +84,15 @@ type wire = { wtid : int; body : Types.msg }
 
 let pp_wire fmt w = Format.fprintf fmt "t%d:%a" w.wtid Types.pp_msg w.body
 
+(* Per-domain reusable state for cluster sweeps: one engine whose heap
+   array survives (reset, not reallocated) across runtimes.  The trace
+   store is not part of the scratch — each run gets a fresh one so
+   [report.trace] never aliases a later run's data. *)
+type scratch = { scratch_engine : Engine.t }
+
+let make_scratch () =
+  { scratch_engine = Engine.create ~trace:(Trace.create ~enabled:false ()) () }
+
 (* Decision reasons that only the termination machinery (or a timeout /
    UD transition standing in for it) can produce; the failure-free flow
    decides through fact1-case1 / fact2-case1 / plain command receipt. *)
@@ -341,7 +350,7 @@ module Run (P : Site.S) = struct
         Metrics.incr state.metrics "txn.rejected";
         Metrics.mark state.metrics ~at "rejections"
 
-  let run ~obs config =
+  let run ~obs ~scratch config =
     if config.load < 1 then invalid_arg "Runtime.run: load must be >= 1";
     if config.window < 1 then invalid_arg "Runtime.run: window must be >= 1";
     if config.amount <= 0 || config.amount >= config.balance then
@@ -355,7 +364,13 @@ module Run (P : Site.S) = struct
                (Site_id.to_int site) config.n))
       config.crashes;
     let trace_store = Trace.create ~enabled:config.trace_enabled () in
-    let engine = Engine.create ~trace:trace_store () in
+    let engine =
+      match scratch with
+      | Some s ->
+          Engine.reset ~trace:trace_store s.scratch_engine;
+          s.scratch_engine
+      | None -> Engine.create ~trace:trace_store ()
+    in
     let net =
       Network.create ~engine ~n:config.n ~t_max:config.t_unit ~mode:config.mode
         ~partition:config.timeline ~delay:config.delay ~seed:config.seed
@@ -554,10 +569,10 @@ module Run (P : Site.S) = struct
     }
 end
 
-let run ?(obs = Obs.disabled) config =
+let run ?(obs = Obs.disabled) ?scratch config =
   let (module P : Site.S) = config.protocol in
   let module R = Run (P) in
-  R.run ~obs config
+  R.run ~obs ~scratch config
 
 let atomic report =
   Auditor.agreement_violations report.auditor = 0

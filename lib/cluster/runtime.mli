@@ -90,10 +90,20 @@ type report = {
           so the JSON stays byte-identical across core revisions *)
 }
 
-val run : ?obs:Obs.t -> config -> report
+type scratch
+(** Reusable per-domain state for cluster sweeps (today: one engine
+    whose grown heap array survives across runs).  A scratch must never
+    be used by two runs concurrently; a run with a scratch is
+    byte-identical to one without. *)
+
+val make_scratch : unit -> scratch
+
+val run : ?obs:Obs.t -> ?scratch:scratch -> config -> report
 (** [obs] (default {!Obs.disabled}) records per-transaction lifecycle
     spans — queued / admission-to-settlement on track 0, protocol state
     spans on each physical site's track — plus every message-flow edge.
+    [scratch] reuses a per-domain engine via {!Engine.reset}; the
+    returned [report.trace] is always a fresh store.
     @raise Invalid_argument on a non-positive load/window or
     [amount >= balance]. *)
 

@@ -1,4 +1,4 @@
-(** A fixed-size [Domain] pool with chunked work distribution.
+(** A fixed-size executor pool with batched chunk execution.
 
     The repository's experiments are embarrassingly parallel: a sweep is
     thousands of independent simulator runs folded into one summary, and
@@ -9,27 +9,39 @@
     associative: chunks are folded left-to-right {e within} each chunk
     and partial results are folded left-to-right {e across} chunks, so
     for an associative [merge] the result is independent of both the
-    chunk size and the number of domains.
+    chunk size and the number of executors.
 
-    Workers hold no state between calls; a pool survives a raising task
-    and can be reused immediately. *)
+    Execution is batched, not queued: a call publishes one job over the
+    whole input array, and each executor claims contiguous chunks with
+    an atomic cursor and runs every item of a chunk in a tight loop —
+    no per-task locking, signaling, or closure allocation.  The calling
+    thread is executor 0 and does its share of the work, so a pool of
+    [domains] executors spawns only [domains - 1] domains; a
+    one-executor pool spawns nothing and degenerates to a plain loop.
+
+    Workers hold no caller-visible state between calls; a pool survives
+    a raising task and can be reused immediately. *)
 
 type t
-(** A pool of worker domains.  Create once, run many [map]/[map_reduce]
+(** A pool of executors.  Create once, run many [map]/[map_reduce]
     calls, then {!shutdown} (or use {!with_pool}). *)
 
 type pool = t
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the useful parallelism cap
-    on this machine, and the CLI's [--jobs] default. *)
+    on this machine, and the CLI's [--jobs] default.  Sweeps clamp
+    their effective executor count to this: beyond it, extra domains
+    only time-slice (and OCaml 5's stop-the-world minor GC makes them
+    actively slower). *)
 
 val create : ?domains:int -> unit -> t
-(** Spawns [domains] worker domains (default {!default_jobs}).
+(** A pool of [domains] executors (default {!default_jobs}): the
+    calling thread plus [domains - 1] spawned worker domains.
     @raise Invalid_argument if [domains < 1]. *)
 
 val size : t -> int
-(** The number of worker domains. *)
+(** The number of executors (including the calling thread). *)
 
 val shutdown : t -> unit
 (** Joins every worker.  Idempotent.  Calling {!map} or {!map_reduce}
@@ -41,7 +53,7 @@ val with_pool : ?domains:int -> (t -> 'a) -> 'a
 
 val map : t -> chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool ~chunk f xs] is [Array.map f xs], with contiguous chunks
-    of [chunk] elements dispatched across the pool's domains.  Returns
+    of [chunk] elements claimed across the pool's executors.  Returns
     [ [||] ] on empty input.  If any application of [f] raises, the
     exception raised by the lowest-indexed chunk is re-raised (with its
     backtrace) after all chunks have finished, and the pool remains
@@ -56,8 +68,29 @@ val map_reduce :
     parallel per-chunk partial folds merged across chunks in chunk
     order.  Equal to the sequential fold for any [chunk] and any pool
     size whenever [merge] is associative ([merge] may consume its left
-    argument: each partial is owned by exactly one domain at a time).
+    argument: each partial is owned by exactly one executor at a time).
     Exceptions propagate as in {!map}.
     @raise Invalid_argument if [chunk < 1] or [xs] is empty (there is
     no unit to return; callers with a natural empty summary should
     handle [ [||] ] themselves). *)
+
+val map_reduce_scratch :
+  pool ->
+  chunk:int ->
+  init:(unit -> 's) ->
+  f:('s -> 'a -> 'b) ->
+  merge:('b -> 'b -> 'b) ->
+  'a array ->
+  'b
+(** {!map_reduce} with per-executor scratch state.  [init] is called
+    exactly [size pool] times, by the submitting thread, before any
+    chunk runs; executor [e] threads its own scratch through every
+    [f scratch x] it claims, and no scratch is ever visible to two
+    executors.  Use it to hoist per-item allocation (simulator engines,
+    buffers) out of the hot loop.
+
+    Soundness contract: [f] must leave the scratch in a state where the
+    next item's result does not depend on which items this executor ran
+    before — reuse must be observationally identical to a fresh
+    [init ()] per item, or the result will depend on the chunk
+    schedule.  Exceptions propagate as in {!map}. *)

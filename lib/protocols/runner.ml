@@ -49,10 +49,25 @@ type result = {
 let vote_of config site =
   match List.assoc_opt site config.votes with Some v -> v | None -> true
 
-let run ?tap ?(obs = Obs.disabled) (module P : Site.S) config =
+(* Per-domain reusable state for sweeps: one engine whose heap array
+   survives (reset, not reallocated) across runs.  The trace is NOT
+   part of the scratch — each run gets a fresh [Trace.t] (free when
+   disabled) so [result.trace] never aliases a later run's data. *)
+type scratch = { scratch_engine : Engine.t }
+
+let make_scratch () =
+  { scratch_engine = Engine.create ~trace:(Trace.create ~enabled:false ()) () }
+
+let run ?tap ?(obs = Obs.disabled) ?scratch (module P : Site.S) config =
   if config.n < 2 then invalid_arg "Runner.run: need at least two sites";
   let trace = Trace.create ~enabled:config.trace_enabled () in
-  let engine = Engine.create ~trace () in
+  let engine =
+    match scratch with
+    | Some s ->
+        Engine.reset ~trace s.scratch_engine;
+        s.scratch_engine
+    | None -> Engine.create ~trace ()
+  in
   let net =
     Network.create ~engine ~n:config.n ~t_max:config.t_unit ~mode:config.mode
       ~partition:config.partition ~delay:config.delay ~seed:config.seed

@@ -45,9 +45,18 @@ type result = {
       (** simulator events executed — the engine-bench denominator *)
 }
 
+type scratch
+(** Reusable per-domain state (today: one engine whose grown heap array
+    survives across runs).  A scratch must never be used by two runs
+    concurrently; the result of a run with a scratch is byte-identical
+    to one without. *)
+
+val make_scratch : unit -> scratch
+
 val run :
   ?tap:(Types.msg Network.event -> unit) ->
   ?obs:Obs.t ->
+  ?scratch:scratch ->
   Site.packed ->
   config ->
   result
@@ -56,7 +65,13 @@ val run :
 
     [obs] (default {!Obs.disabled}) records per-site lifecycle spans
     and message-flow edges; the runner seals any still-open spans when
-    the engine stops, so the recorder is export-ready on return. *)
+    the engine stops, so the recorder is export-ready on return.
+
+    [scratch] reuses a {!scratch}'s engine via {!Engine.reset} instead
+    of allocating a fresh one — the sweep hot path threads one scratch
+    per domain through every run that domain executes.  The returned
+    [result.trace] is always a fresh trace, never shared with the
+    scratch. *)
 
 val site_result : result -> Site_id.t -> site_result
 

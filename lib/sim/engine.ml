@@ -40,7 +40,7 @@ type t = {
      fallback; this engine no longer pays its closure indirection. *)
   mutable heap : event array;
   mutable size : int;
-  trace : Trace.t;
+  mutable trace : Trace.t;
   mutable next_seq : int;
   mutable executed : int;
 }
@@ -59,6 +59,20 @@ let create ?trace () =
 let now t = t.clock
 
 let trace t = t.trace
+
+(* Rewind to the just-created state while keeping the grown heap array.
+   The live region is wiped with the sentinel so stale events (and the
+   closures they capture) are unreachable; a run over a reset engine is
+   observationally identical to one over [create].  This is what makes
+   an engine a sound per-domain scratch for sweeps: reuse amortises the
+   heap's growth-by-doubling across thousands of runs. *)
+let reset ?trace t =
+  (match trace with Some tr -> t.trace <- tr | None -> ());
+  Array.fill t.heap 0 t.size dummy;
+  t.size <- 0;
+  t.clock <- Vtime.zero;
+  t.next_seq <- 0;
+  t.executed <- 0
 
 (* Cancelled events stay in the heap and are skipped at pop time, so
    [pending] counts queued events including not-yet-drained cancelled

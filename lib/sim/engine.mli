@@ -27,6 +27,16 @@ val create : ?trace:Trace.t -> unit -> t
 (** A fresh engine at time {!Vtime.zero}.  [trace] defaults to a fresh
     enabled trace. *)
 
+val reset : ?trace:Trace.t -> t -> unit
+(** Rewinds the engine to the state of [create] — clock at zero, empty
+    queue, zeroed counters — while {e keeping} the grown heap array, so
+    reusing one engine across many runs amortises heap growth.  Pending
+    events (and the closures they capture) are dropped and overwritten.
+    [trace] replaces the engine's trace (omit it to keep the current
+    one).  A run on a reset engine is observationally identical to a
+    run on a fresh engine: this is the soundness basis for per-domain
+    scratch reuse in sweeps. *)
+
 val now : t -> Vtime.t
 
 val trace : t -> Trace.t

@@ -101,6 +101,34 @@ let test_pool_default_jobs () =
   (* shutdown is idempotent *)
   Pool.shutdown pool
 
+let test_pool_scratch_per_domain () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let created = Atomic.make 0 in
+      let input = Array.init 48 Fun.id in
+      let users = Array.make (Array.length input) (-1, -1) in
+      let sum =
+        Pool.map_reduce_scratch pool ~chunk:2
+          ~init:(fun () -> Atomic.fetch_and_add created 1)
+          ~f:(fun scratch_id x ->
+            users.(x) <- (scratch_id, (Domain.self () :> int));
+            x)
+          ~merge:( + ) input
+      in
+      check Alcotest.int "reduction unchanged by scratch" 1128 sum;
+      check Alcotest.int "init called exactly (size pool) times"
+        (Pool.size pool) (Atomic.get created);
+      (* a scratch value is never shared: each scratch id maps to exactly
+         one domain across the whole job *)
+      let domain_of = Hashtbl.create 8 in
+      Array.iter
+        (fun (scratch_id, domain) ->
+          check Alcotest.bool "every element saw a scratch" true
+            (scratch_id >= 0);
+          match Hashtbl.find_opt domain_of scratch_id with
+          | None -> Hashtbl.add domain_of scratch_id domain
+          | Some d -> check Alcotest.int "scratch never crosses domains" d domain)
+        users)
+
 (* ------------------------------------------------------------------ *)
 (* Sweep determinism across jobs                                       *)
 (* ------------------------------------------------------------------ *)
@@ -121,7 +149,71 @@ let test_sweep_jobs_deterministic () =
       check Alcotest.string
         (Printf.sprintf "jobs=%d = sequential" jobs)
         sequential parallel)
-    [ 1; 2; 4 ]
+    [ 1; 2; 4; 8 ]
+
+(* Scratch reuse must be invisible: a run on a reused engine is
+   identical to a run on a fresh one, whatever ran on the scratch
+   before. *)
+let test_runner_scratch_invisible () =
+  let configs = sweep_grid () in
+  let sample = List.filteri (fun i _ -> i mod 97 = 0) configs in
+  let scratch = Runner.make_scratch () in
+  List.iter
+    (fun config ->
+      let fresh = Runner.run (module Termination.Static) config in
+      let reused = Runner.run ~scratch (module Termination.Static) config in
+      check Alcotest.string
+        (Scenario.config_id config)
+        (Format.asprintf "%a" Runner.pp_result fresh)
+        (Format.asprintf "%a" Runner.pp_result reused);
+      check Alcotest.int "events_run identical" fresh.Runner.events_run
+        reused.Runner.events_run)
+    sample
+
+(* The qcheck property behind the determinism guarantee: for ANY chunk
+   size, ANY executor count and ANY permutation of the grid, the
+   batched parallel fold is byte-identical to the sequential fold over
+   the same permutation. *)
+let shuffled ~seed arr =
+  let st = Random.State.make [| seed |] in
+  let a = Array.copy arr in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let chunk_jobs_perm = QCheck.(triple (int_range 1 4) (int_range 1 9) small_nat)
+
+let qcheck_sweep_batched_identical =
+  QCheck.Test.make ~count:8
+    ~name:"checker sweep byte-identical across chunk x jobs x permutation"
+    chunk_jobs_perm
+    (fun (domains, chunk, perm_seed) ->
+      let configs = shuffled ~seed:perm_seed (Array.of_list (sweep_grid ())) in
+      let eval scratch config =
+        Sweep.of_verdict ~protocol:"termination-static"
+          ( config,
+            Verdict.of_result
+              (Runner.run ~scratch (module Termination.Static) config) )
+      in
+      let merge = Sweep.merge ~keep:3 in
+      let sequential =
+        let scratch = Runner.make_scratch () in
+        match Array.to_list (Array.map (eval scratch) configs) with
+        | [] -> assert false
+        | first :: rest -> List.fold_left merge first rest
+      in
+      let batched =
+        Pool.with_pool ~domains (fun pool ->
+            Pool.map_reduce_scratch pool ~chunk ~init:Runner.make_scratch
+              ~f:eval ~merge configs)
+      in
+      String.equal
+        (Export.to_string (Export.of_summary sequential))
+        (Export.to_string (Export.of_summary batched)))
 
 let test_sweep_jobs_rejects_zero () =
   let raised =
@@ -157,6 +249,7 @@ let cluster_grid () =
     timelines = [ ("none", Partition.none); ("cut", cut) ];
     policies =
       [ Cluster.Scheduler.Fixed_master; Cluster.Scheduler.Partition_aware ];
+    protocols = [];
   }
 
 let test_cluster_sweep_jobs_deterministic () =
@@ -169,7 +262,36 @@ let test_cluster_sweep_jobs_deterministic () =
       check Alcotest.string
         (Printf.sprintf "jobs=%d = sequential" jobs)
         sequential parallel)
-    [ 1; 2; 4 ]
+    [ 1; 2; 4; 8 ]
+
+let qcheck_cluster_batched_identical =
+  QCheck.Test.make ~count:4
+    ~name:"cluster sweep byte-identical across chunk x jobs x permutation"
+    QCheck.(triple (int_range 1 3) (int_range 1 5) small_nat)
+    (fun (domains, chunk, perm_seed) ->
+      let tasks =
+        shuffled ~seed:perm_seed
+          (Array.of_list (Cluster.Cluster_sweep.tasks (cluster_grid ())))
+      in
+      let eval scratch (label, config) =
+        Cluster.Cluster_sweep.of_report ~label
+          (Cluster.Runtime.run ~scratch config)
+      in
+      let merge = Cluster.Cluster_sweep.merge ~keep:5 in
+      let sequential =
+        let scratch = Cluster.Runtime.make_scratch () in
+        match Array.to_list (Array.map (eval scratch) tasks) with
+        | [] -> assert false
+        | first :: rest -> List.fold_left merge first rest
+      in
+      let batched =
+        Pool.with_pool ~domains (fun pool ->
+            Pool.map_reduce_scratch pool ~chunk
+              ~init:Cluster.Runtime.make_scratch ~f:eval ~merge tasks)
+      in
+      String.equal
+        (Export.to_string (Cluster.Cluster_sweep.to_json sequential))
+        (Export.to_string (Cluster.Cluster_sweep.to_json batched)))
 
 let test_cluster_sweep_accounting () =
   let grid = cluster_grid () in
@@ -206,6 +328,8 @@ let () =
             test_pool_exception_propagation;
           Alcotest.test_case "defaults and shutdown" `Quick
             test_pool_default_jobs;
+          Alcotest.test_case "scratch per domain" `Quick
+            test_pool_scratch_per_domain;
         ] );
       ( "sweep",
         [
@@ -213,11 +337,15 @@ let () =
             test_sweep_jobs_deterministic;
           Alcotest.test_case "rejects jobs=0" `Quick
             test_sweep_jobs_rejects_zero;
+          Alcotest.test_case "scratch reuse invisible" `Quick
+            test_runner_scratch_invisible;
+          QCheck_alcotest.to_alcotest qcheck_sweep_batched_identical;
         ] );
       ( "cluster-sweep",
         [
           Alcotest.test_case "deterministic across jobs" `Slow
             test_cluster_sweep_jobs_deterministic;
           Alcotest.test_case "accounting" `Quick test_cluster_sweep_accounting;
+          QCheck_alcotest.to_alcotest qcheck_cluster_batched_identical;
         ] );
     ]

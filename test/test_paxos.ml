@@ -261,6 +261,7 @@ let test_cluster_crash_jobs_deterministic () =
       seeds = [ 1L; 2L; 3L ];
       timelines = [ ("none", Partition.none) ];
       policies = [ Commit_cluster.Scheduler.Partition_aware ];
+      protocols = [];
     }
   in
   let s1 = C.run ~jobs:1 grid in
