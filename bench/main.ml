@@ -1304,17 +1304,18 @@ let engine_bench ~smoke () =
     in
     row "  %-24s trace=%-3s %10.0f ev/s %8.1f B/ev %7.2f minor-gc/1k-ev@."
       name trace events_per_sec bytes_per_event minor_per_kevent;
-    Export.Obj
-      [
-        ("name", Export.String name);
-        ("trace", Export.String trace);
-        ("iters", Export.Int iters);
-        ("events", Export.Int !events);
-        ("seconds", Export.Float seconds);
-        ("events_per_sec", Export.Float events_per_sec);
-        ("bytes_per_event", Export.Float bytes_per_event);
-        ("minor_gc_per_1k_events", Export.Float minor_per_kevent);
-      ]
+    ( events_per_sec,
+      Export.Obj
+        [
+          ("name", Export.String name);
+          ("trace", Export.String trace);
+          ("iters", Export.Int iters);
+          ("events", Export.Int !events);
+          ("seconds", Export.Float seconds);
+          ("events_per_sec", Export.Float events_per_sec);
+          ("bytes_per_event", Export.Float bytes_per_event);
+          ("minor_gc_per_1k_events", Export.Float minor_per_kevent);
+        ] )
   in
   (* Raw engine churn: schedule/pop only, no protocol on top. *)
   let churn () =
@@ -1368,35 +1369,49 @@ let engine_bench ~smoke () =
   in
   (* Explicit lets: list literals evaluate right-to-left, which would
      print the rows in reverse. *)
-  let s1 =
+  let ev1, s1 =
     measure ~name:"engine-churn" ~trace:"off" ~iters:(scale 200) (fun () ->
         churn ())
   in
-  let s2 =
+  ignore ev1;
+  let off2, s2 =
     measure ~name:"3pc-partition" ~trace:"off" ~iters:(scale 2000)
       (protocol_run (module Three_phase) protocol_off)
   in
-  let s3 =
+  let on3, s3 =
     measure ~name:"3pc-partition" ~trace:"on" ~iters:(scale 2000)
       (protocol_run (module Three_phase) protocol_on)
   in
-  let s4 =
+  let off4, s4 =
     measure ~name:"termination-partition" ~trace:"off" ~iters:(scale 2000)
       (protocol_run (module Termination.Static) protocol_off)
   in
-  let s5 =
+  let on5, s5 =
     measure ~name:"termination-partition" ~trace:"on" ~iters:(scale 2000)
       (protocol_run (module Termination.Static) protocol_on)
   in
-  let s6 =
+  let off6, s6 =
     measure ~name:"cluster-steady" ~trace:"off" ~iters:(scale 20)
       (cluster_run cluster_off)
   in
-  let s7 =
+  let on7, s7 =
     measure ~name:"cluster-steady" ~trace:"on" ~iters:(scale 20)
       (cluster_run cluster_on)
   in
   let scenarios = [ s1; s2; s3; s4; s5; s6; s7 ] in
+  (* One number per paired scenario: trace-on throughput as a fraction
+     of trace-off (1.0 = tracing is free).  This is the trajectory the
+     CI overhead gate watches. *)
+  let ratios =
+    [
+      ("3pc-partition", on3 /. off2);
+      ("termination-partition", on5 /. off4);
+      ("cluster-steady", on7 /. off6);
+    ]
+  in
+  List.iter
+    (fun (name, r) -> row "  %-24s trace_overhead_ratio %5.2f@." name r)
+    ratios;
   let bench_json =
     Export.Obj
       [
@@ -1404,6 +1419,8 @@ let engine_bench ~smoke () =
         ("t_unit", Export.Int (Vtime.to_int t_unit));
         ("recommended_domains", Export.Int (Domain.recommended_domain_count ()));
         ("scenarios", Export.List scenarios);
+        ( "trace_overhead_ratio",
+          Export.Obj (List.map (fun (n, r) -> (n, Export.Float r)) ratios) );
       ]
   in
   let oc = open_out "BENCH_engine.json" in

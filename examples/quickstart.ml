@@ -40,10 +40,10 @@ let () =
   in
   let result = Runner.run (module Termination.Static) config in
   Format.printf "trace of the partitioned run:@.";
-  List.iter
+  Trace.iter
     (fun (e : Trace.entry) ->
       if e.topic <> "net" then Format.printf "  %a@." Trace.pp_entry e)
-    (Trace.entries result.trace);
+    result.trace;
   Format.printf "@.";
   print_outcome "partition at 2.1T cutting off site3" result;
 

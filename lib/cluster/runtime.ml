@@ -84,6 +84,43 @@ type wire = { wtid : int; body : Types.msg }
 
 let pp_wire fmt w = Format.fprintf fmt "t%d:%a" w.wtid Types.pp_msg w.body
 
+(* Binary wire codec (same layout as Tm's): wtid in bits 40+ above the
+   packed message. *)
+let wire_code w = Types.msg_code w.body lor (w.wtid lsl 40)
+
+let wire_renderer =
+  Network.register_payload_renderer (fun b code ->
+      Buffer.add_char b 't';
+      Buffer.add_string b (string_of_int (code lsr 40));
+      Buffer.add_char b ':';
+      Types.buf_msg_code b (code land ((1 lsl 40) - 1)))
+
+let wire_codec = (wire_renderer, wire_code)
+
+(* Cluster trace templates, registered at module init (the [Run] functor
+   below is applied once per run).  Note the literal "site%d" wording —
+   these are physical, not logical, site numbers. *)
+
+let tmpl_torn =
+  Trace.register_template (fun b _ tid _ _ _ _ ->
+      Buffer.add_char b 't';
+      Buffer.add_string b (string_of_int tid);
+      Buffer.add_string b " TORN")
+
+let tmpl_never_reached =
+  Trace.register_template (fun b _ tid site _ _ _ ->
+      Buffer.add_char b 't';
+      Buffer.add_string b (string_of_int tid);
+      Buffer.add_string b ": site";
+      Buffer.add_string b (string_of_int site);
+      Buffer.add_string b " never reached; local abort")
+
+let tmpl_crashed =
+  Trace.register_template (fun b _ site _ _ _ _ ->
+      Buffer.add_string b "site";
+      Buffer.add_string b (string_of_int site);
+      Buffer.add_string b " CRASHED")
+
 (* Per-domain reusable state for cluster sweeps: one engine whose heap
    array survives (reset, not reallocated) across runtimes.  The trace
    store is not part of the scratch — each run gets a fresh one so
@@ -131,6 +168,7 @@ module Run (P : Site.S) = struct
     engine : Engine.t;
     trace_store : Trace.t;
     tracing : bool;
+    topic_cluster : Trace.topic;
     obs : Obs.t;
     obs_on : bool;  (* cached Obs.enabled *)
     net : wire Network.t;
@@ -148,8 +186,13 @@ module Run (P : Site.S) = struct
   let now state = Engine.now state.engine
 
   (* Call sites guard with [state.tracing]. *)
-  let trace state fmt =
-    Trace.addf state.trace_store ~at:(now state) ~topic:"cluster" fmt
+  let log1 state tmpl a0 =
+    Trace.log1 state.trace_store ~at:(now state) ~topic:state.topic_cluster
+      tmpl a0
+
+  let log2 state tmpl a0 a1 =
+    Trace.log2 state.trace_store ~at:(now state) ~topic:state.topic_cluster
+      tmpl a0 a1
 
   (* Per-transaction master relabeling: the protocol stack hard-wires
      "site 1 masters", so a transaction coordinated by physical site m
@@ -206,7 +249,7 @@ module Run (P : Site.S) = struct
      end
      else begin
        Metrics.incr m "txn.torn";
-       if state.tracing then trace state "t%d TORN" rt.spec.tid
+       if state.tracing then log1 state tmpl_torn rt.spec.tid
      end);
     Metrics.incr m "txn.settled";
     Metrics.observe m "latency.settle" (Vtime.sub at rt.admitted_at);
@@ -308,8 +351,7 @@ module Run (P : Site.S) = struct
                in
                if rt.decisions.(i) = None && initial then begin
                  if state.tracing then
-                   trace state "t%d: site%d never reached; local abort"
-                   rt.spec.tid (i + 1);
+                   log2 state tmpl_never_reached rt.spec.tid (i + 1);
                  record_decision state rt i Types.Abort
                end)))
       instances;
@@ -374,7 +416,7 @@ module Run (P : Site.S) = struct
     let net =
       Network.create ~engine ~n:config.n ~t_max:config.t_unit ~mode:config.mode
         ~partition:config.timeline ~delay:config.delay ~seed:config.seed
-        ~pp_payload:pp_wire ~obs
+        ~pp_payload:pp_wire ~payload_codec:wire_codec ~obs
         ~obs_tid:(fun w -> w.wtid)
         ()
     in
@@ -386,6 +428,7 @@ module Run (P : Site.S) = struct
         engine;
         trace_store;
         tracing = Trace.enabled trace_store;
+        topic_cluster = Trace.topic trace_store "cluster";
         obs;
         obs_on = Obs.enabled obs;
         net;
@@ -414,7 +457,7 @@ module Run (P : Site.S) = struct
                if not state.dead.(i) then begin
                  state.dead.(i) <- true;
                  Network.crash state.net site;
-                 if state.tracing then trace state "site%d CRASHED" (i + 1);
+                 if state.tracing then log1 state tmpl_crashed (i + 1);
                  Auditor.mark_dead state.auditor ~site;
                  let stranded =
                    Hashtbl.fold

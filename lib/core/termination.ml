@@ -16,6 +16,27 @@ let fact1_reasons =
 
 let fact2_reasons = [ "fact2-case1"; "fact2-case2"; "fact2-case3" ]
 
+(* Trace templates (module-init registration; shared by every functor
+   application).  Site sets travel as bitmask ints. *)
+
+let tmpl_collect_no_cross =
+  Trace.register_template (fun b _ pb _ _ _ _ ->
+      Buffer.add_string b "collect window: N-UD = PB = ";
+      Site_id.buf_set_mask b pb;
+      Buffer.add_string b " -> no prepare crossed B")
+
+let tmpl_collect_crossed =
+  Trace.register_template (fun b _ reached pb _ _ _ ->
+      Buffer.add_string b "collect window: N-UD = ";
+      Site_id.buf_set_mask b reached;
+      Buffer.add_string b " but PB = ";
+      Site_id.buf_set_mask b pb;
+      Buffer.add_string b " -> a prepare crossed B")
+
+let tmpl_probe_no_partition =
+  Ctx.site_template ~prefix:"probe from "
+    ~suffix:" in p1 ignored (no partition detected)"
+
 module type CONFIG = sig
   val variant : variant
 
@@ -136,14 +157,15 @@ module Make_full (V : CONFIG) = struct
     let slaves = Site_id.Set.of_list (Ctx.slaves t.ctx) in
     let reached = Site_id.Set.diff slaves ud in
     if Site_id.Set.equal reached pb then begin
-      Ctx.log t.ctx "collect window: N-UD = PB = %a -> no prepare crossed B"
-        Site_id.pp_set pb;
+      if Ctx.tracing t.ctx then
+        Ctx.log1 t.ctx tmpl_collect_no_cross (Site_id.set_to_mask pb);
       master_decide t Types.Abort ~reason:"collect-abort" ~tell:true
     end
     else begin
-      Ctx.log t.ctx
-        "collect window: N-UD = %a but PB = %a -> a prepare crossed B"
-        Site_id.pp_set reached Site_id.pp_set pb;
+      if Ctx.tracing t.ctx then
+        Ctx.log2 t.ctx tmpl_collect_crossed
+          (Site_id.set_to_mask reached)
+          (Site_id.set_to_mask pb);
       master_decide t Types.Commit ~reason:"fact2-case3" ~tell:true
     end
 
@@ -199,14 +221,12 @@ module Make_full (V : CONFIG) = struct
     | M_prepared _, Types.Probe _ ->
         (* A slave's p-timer fired early on a fast path with no
            partition; it will receive the commit command in due course. *)
-        Ctx.log t.ctx "probe from %a in p1 ignored (no partition detected)"
-          Site_id.pp envelope.src
+        Ctx.log_site t.ctx tmpl_probe_no_partition envelope.src
     | (M_initial | M_committed | M_aborted), _
     | M_wait _, _
     | M_prepared _, _
     | M_collect _, _ ->
-        Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
   let on_master_ud t state (envelope : Types.msg Network.envelope) =
     match (state, envelope.payload) with
@@ -223,8 +243,7 @@ module Make_full (V : CONFIG) = struct
     | ( ( M_initial | M_wait _ | M_prepared _ | M_collect _ | M_committed
         | M_aborted ),
         _ ) ->
-        Ctx.log t.ctx "UD(%a) ignored in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ud_ignored t.ctx envelope.payload (state_name t)
 
   (* ---- slaves ----------------------------------------------------------- *)
 
@@ -316,12 +335,12 @@ module Make_full (V : CONFIG) = struct
         (* Ablation: the unmodified 3PC slave of Fig. 3 has no w -> c
            transition; it drops the relayed commit — which may be the
            only commit it will ever receive ("a fly in the ointment"). *)
-        Ctx.log t.ctx "commit in w dropped (Fig. 8 modification disabled)"
+        Ctx.log_text t.ctx "commit in w dropped (Fig. 8 modification disabled)"
     | S_wait2, Types.Prepare ->
         (* Cannot happen within the model's timing envelope: a prepare
            arrives at most 3T after the slave entered w.  Logged for the
            failure-injection tests. *)
-        Ctx.log t.ctx "late prepare ignored in w/waiting"
+        Ctx.log_text t.ctx "late prepare ignored in w/waiting"
     | (S_wait | S_wait2 | S_prepared | S_probing | S_initial), Types.Commit_cmd
       ->
         slave_decide t ~vote_yes Types.Commit
@@ -333,8 +352,7 @@ module Make_full (V : CONFIG) = struct
     | ( ( S_initial | S_wait | S_wait2 | S_prepared | S_probing | S_committed
         | S_aborted ),
         _ ) ->
-        Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
   let on_slave_ud t ~vote_yes state (envelope : Types.msg Network.envelope) =
     match (state, envelope.payload) with
@@ -352,8 +370,7 @@ module Make_full (V : CONFIG) = struct
     | ( ( S_initial | S_wait | S_wait2 | S_prepared | S_probing | S_committed
         | S_aborted ),
         _ ) ->
-        Ctx.log t.ctx "UD(%a) ignored in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ud_ignored t.ctx envelope.payload (state_name t)
 
   let on_delivery t delivery =
     match (t.machine, delivery) with

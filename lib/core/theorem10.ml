@@ -136,14 +136,13 @@ module Four_phase_termination = struct
     | M_collect { ud; pb }, Types.Probe { slave; _ } ->
         t.machine <- Master (M_collect { ud; pb = Site_id.Set.add slave pb })
     | M_prepared _, Types.Probe _ ->
-        Ctx.log t.ctx "probe ignored in p1 (no partition detected)"
+        Ctx.log_text t.ctx "probe ignored in p1 (no partition detected)"
     | (M_initial | M_committed | M_aborted), _
     | M_wait _, _
     | M_buffer _, _
     | M_prepared _, _
     | M_collect _, _ ->
-        Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
   let on_master_ud t state (envelope : Types.msg Network.envelope) =
     match (state, envelope.payload) with
@@ -161,8 +160,7 @@ module Four_phase_termination = struct
     | ( ( M_initial | M_wait _ | M_buffer _ | M_prepared _ | M_collect _
         | M_committed | M_aborted ),
         _ ) ->
-        Ctx.log t.ctx "UD(%a) ignored in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ud_ignored t.ctx envelope.payload (state_name t)
 
   (* ---- slaves ----------------------------------------------------------- *)
 
@@ -241,8 +239,7 @@ module Four_phase_termination = struct
     | ( ( S_initial | S_wait | S_buffer | S_wait2 | S_prepared | S_probing
         | S_committed | S_aborted ),
         _ ) ->
-        Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
   let on_slave_ud t ~vote_yes state (envelope : Types.msg Network.envelope) =
     match (state, envelope.payload) with
@@ -260,8 +257,7 @@ module Four_phase_termination = struct
     | ( ( S_initial | S_wait | S_buffer | S_wait2 | S_prepared | S_probing
         | S_committed | S_aborted ),
         _ ) ->
-        Ctx.log t.ctx "UD(%a) ignored in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ud_ignored t.ctx envelope.payload (state_name t)
 
   let on_delivery t delivery =
     match (t.machine, delivery) with

@@ -81,6 +81,52 @@ type wire = { wtid : int; body : Types.msg }
 
 let pp_wire fmt w = Format.fprintf fmt "t%d:%a" w.wtid Types.pp_msg w.body
 
+(* Binary wire codec: the transaction id rides in bits 40+ above the
+   packed message (see Types.msg_code's layout). *)
+let wire_code w = Types.msg_code w.body lor (w.wtid lsl 40)
+
+let buf_wire_code b code =
+  Buffer.add_char b 't';
+  Buffer.add_string b (string_of_int (code lsr 40));
+  Buffer.add_char b ':';
+  Types.buf_msg_code b (code land ((1 lsl 40) - 1))
+
+let wire_renderer = Network.register_payload_renderer buf_wire_code
+
+let wire_codec = (wire_renderer, wire_code)
+
+(* Manager-side trace templates ("tm" topic).  Registered here, not in
+   [Run] — the functor is applied per run and templates are global. *)
+
+let buf_tid b tid =
+  Buffer.add_char b 't';
+  Buffer.add_string b (string_of_int tid)
+
+let tmpl_locks_granted =
+  Trace.register_template (fun b lookup tid name _ _ _ ->
+      buf_tid b tid;
+      Buffer.add_string b ": all locks granted; starting ";
+      Buffer.add_string b (lookup name))
+
+let tmpl_never_reached =
+  Trace.register_template (fun b _ tid site _ _ _ ->
+      buf_tid b tid;
+      Buffer.add_string b ": ";
+      Site_id.buf b (Site_id.of_int site);
+      Buffer.add_string b " never reached by the transaction; local abort")
+
+let tmpl_deadlock_victim =
+  Trace.register_template (fun b _ tid _ _ _ _ ->
+      buf_tid b tid;
+      Buffer.add_string b ": deadlock victim; released")
+
+let tmpl_lock_wait =
+  Trace.register_template (fun b _ tid n _ _ _ ->
+      buf_tid b tid;
+      Buffer.add_string b ": waiting for ";
+      Buffer.add_string b (string_of_int n);
+      Buffer.add_string b " locks")
+
 module Run (P : Site.S) = struct
   type txn_rt = {
     spec : txn_spec;
@@ -97,6 +143,7 @@ module Run (P : Site.S) = struct
     engine : Engine.t;
     trace_store : Trace.t;
     tracing : bool;
+    topic_tm : Trace.topic;
     obs : Obs.t;
     obs_on : bool;  (* cached Obs.enabled *)
     net : wire Network.t;
@@ -111,8 +158,13 @@ module Run (P : Site.S) = struct
   let locks_at state site = state.locks.(Site_id.to_int site - 1)
 
   (* Call sites guard with [state.tracing]. *)
-  let trace state fmt =
-    Trace.addf state.trace_store ~at:(Engine.now state.engine) ~topic:"tm" fmt
+  let log1 state tmpl a0 =
+    Trace.log1 state.trace_store ~at:(Engine.now state.engine)
+      ~topic:state.topic_tm tmpl a0
+
+  let log2 state tmpl a0 a1 =
+    Trace.log2 state.trace_store ~at:(Engine.now state.engine)
+      ~topic:state.topic_tm tmpl a0 a1
 
   (* Transaction-lifecycle spans live on track 0 (the manager's own
      timeline): txn ⊃ lock-wait, protocol.  Sealed when the last site
@@ -149,7 +201,8 @@ module Run (P : Site.S) = struct
         "protocol"
     end;
     if state.tracing then
-      trace state "t%d: all locks granted; starting %s" rt.spec.tid P.name;
+      log2 state tmpl_locks_granted rt.spec.tid
+        (Trace.intern state.trace_store P.name);
     let writes_of site =
       match List.assoc_opt site rt.spec.writes with
       | Some updates -> updates
@@ -211,9 +264,8 @@ module Run (P : Site.S) = struct
                in
                if rt.decisions.(i) = None && initial && not rt.victim then begin
                  if state.tracing then
-                   trace state
-                     "t%d: %a never reached by the transaction; local abort"
-                     rt.spec.tid Site_id.pp site;
+                   log2 state tmpl_never_reached rt.spec.tid
+                     (Site_id.to_int site);
                  rt.decisions.(i) <- Some Types.Abort;
                  rt.decided_ats.(i) <- Some (Engine.now state.engine);
                  Durable_site.abort (store state site) ~tid:rt.spec.tid;
@@ -243,8 +295,7 @@ module Run (P : Site.S) = struct
         ~tid:rt.spec.tid ~cat:"lifecycle" "deadlock-victim";
       obs_track_done state rt
     end;
-    if state.tracing then
-      trace state "t%d: deadlock victim; released" rt.spec.tid;
+    if state.tracing then log1 state tmpl_deadlock_victim rt.spec.tid;
     let grants =
       List.concat_map
         (fun site -> Lock_manager.release_all (locks_at state site) ~tid:rt.spec.tid)
@@ -320,8 +371,7 @@ module Run (P : Site.S) = struct
         if state.obs_on then
           Obs.span_begin state.obs ~at:(Engine.now state.engine) ~site:0
             ~tid:rt.spec.tid ~cat:"lifecycle" "lock-wait";
-        if state.tracing then
-          trace state "t%d: waiting for %d locks" rt.spec.tid !waiting;
+        if state.tracing then log2 state tmpl_lock_wait rt.spec.tid !waiting;
         (* Waits can only deadlock when a new waiter arrives. *)
         ignore
           (Engine.schedule state.engine ~delay:(Vtime.of_int 1)
@@ -339,7 +389,7 @@ module Run (P : Site.S) = struct
     let net =
       Network.create ~engine ~n:config.n ~t_max:config.t_unit ~mode:config.mode
         ~partition:config.partition ~delay:config.delay ~seed:config.seed
-        ~pp_payload:pp_wire ~obs
+        ~pp_payload:pp_wire ~payload_codec:wire_codec ~obs
         ~obs_tid:(fun w -> w.wtid)
         ()
     in
@@ -349,6 +399,7 @@ module Run (P : Site.S) = struct
         engine;
         trace_store;
         tracing = Trace.enabled trace_store;
+        topic_tm = Trace.topic trace_store "tm";
         obs;
         obs_on = Obs.enabled obs;
         net;

@@ -17,6 +17,106 @@ type 'a event =
 
 type stats = { sent : int; delivered : int; bounced : int; lost : int }
 
+(* ------------------------------------------------------------------ *)
+(* Binary trace templates                                              *)
+(*                                                                     *)
+(* The network's trace lines all have the shape "endpoints, verb,      *)
+(* payload [, hop]".  When the caller supplies a [payload_codec] the   *)
+(* payload travels through the trace as one packed int plus a renderer *)
+(* id from the registry below, and every line becomes a typed binary   *)
+(* record; without a codec the legacy eager [addf] path is kept (tests *)
+(* trace arbitrary payload types).  Renderer registration is           *)
+(* module-init-only, like {!Trace.register_template}.                  *)
+(* ------------------------------------------------------------------ *)
+
+let payload_renderers =
+  ref (Array.make 8 (None : (Buffer.t -> int -> unit) option))
+
+let n_payload_renderers = ref 0
+
+(* Each payload renderer doubles as an obs flow-name renderer, so coded
+   flow names share the registration; indexed by payload renderer id. *)
+let obs_name_ids = ref (Array.make 8 (-1))
+
+let register_payload_renderer r =
+  let i = !n_payload_renderers in
+  if i = Array.length !payload_renderers then begin
+    let grown = Array.make (2 * i) None in
+    Array.blit !payload_renderers 0 grown 0 i;
+    payload_renderers := grown;
+    let grown_ids = Array.make (2 * i) (-1) in
+    Array.blit !obs_name_ids 0 grown_ids 0 i;
+    obs_name_ids := grown_ids
+  end;
+  !payload_renderers.(i) <- Some r;
+  !obs_name_ids.(i) <- Obs.register_name_renderer r;
+  incr n_payload_renderers;
+  i
+
+let buf_payload b rid code =
+  match !payload_renderers.(rid) with
+  | Some r -> r b code
+  | None -> Buffer.add_string b "<msg>"
+
+(* Endpoints pack as [src lsl 10 lor dst] in one argument. *)
+let buf_site b i = Site_id.buf b (Site_id.of_int i)
+
+let buf_src_arrow_dst b sd =
+  buf_site b (sd lsr 10);
+  Buffer.add_string b " -> ";
+  buf_site b (sd land 0x3ff)
+
+let tmpl_crashed =
+  Trace.register_template (fun b _ site _ _ _ _ ->
+      buf_site b site;
+      Buffer.add_string b " crashed")
+
+(* "src -> dst payload: <suffix>" — lost (destination dead) / lost at
+   boundary B / suppressed (sender dead) share one shape. *)
+let endpoints_payload_suffix suffix =
+  Trace.register_template (fun b _ sd rid code _ _ ->
+      buf_src_arrow_dst b sd;
+      Buffer.add_char b ' ';
+      buf_payload b rid code;
+      Buffer.add_string b suffix)
+
+let tmpl_lost_dest_dead = endpoints_payload_suffix ": lost (destination dead)"
+
+let tmpl_lost_at_b = endpoints_payload_suffix ": lost at boundary B"
+
+let tmpl_suppressed = endpoints_payload_suffix ": suppressed (sender dead)"
+
+let tmpl_deliver =
+  Trace.register_template (fun b _ sd rid code _ _ ->
+      buf_src_arrow_dst b sd;
+      Buffer.add_string b ": deliver ";
+      buf_payload b rid code)
+
+let tmpl_ud_lost =
+  Trace.register_template (fun b _ src rid code _ _ ->
+      Buffer.add_string b "UD(";
+      buf_payload b rid code;
+      Buffer.add_string b ") for ";
+      buf_site b src;
+      Buffer.add_string b ": lost (sender dead)")
+
+let tmpl_bounce =
+  Trace.register_template (fun b _ sd rid code _ _ ->
+      Buffer.add_string b "return UD(";
+      buf_src_arrow_dst b sd;
+      Buffer.add_string b ": ";
+      buf_payload b rid code;
+      Buffer.add_string b ") to sender")
+
+let tmpl_send =
+  Trace.register_template (fun b _ sd rid code hop _ ->
+      buf_src_arrow_dst b sd;
+      Buffer.add_string b ": send ";
+      buf_payload b rid code;
+      Buffer.add_string b " (hop ";
+      Vtime.buf b (Vtime.of_int hop);
+      Buffer.add_char b ')')
+
 type 'a t = {
   engine : Engine.t;
   trace : Trace.t;  (* cached Engine.trace *)
@@ -28,6 +128,10 @@ type 'a t = {
   delay : Delay.t;
   rng : Rng.t;
   pp_payload : Format.formatter -> 'a -> unit;
+  topic_net : Trace.topic;  (* "net", interned once *)
+  enc : ('a -> int) option;  (* payload codec: binary records when present *)
+  renderer_id : int;
+  obs_renderer : int;  (* obs name renderer for coded flow names, or -1 *)
   obs : Obs.t;
   obs_on : bool;  (* cached Obs.enabled: keep the off path allocation-free *)
   obs_tid : 'a -> int;  (* payload -> transaction-id track for flow edges *)
@@ -41,7 +145,8 @@ type 'a t = {
 }
 
 let create ~engine ~n ~t_max ?(mode = Optimistic) ?(partition = Partition.none)
-    ?delay ?(seed = 1L) ?pp_payload ?(obs = Obs.disabled) ?obs_tid () =
+    ?delay ?(seed = 1L) ?pp_payload ?payload_codec ?(obs = Obs.disabled)
+    ?obs_tid () =
   if n < 2 then invalid_arg "Network.create: need at least two sites";
   if Vtime.( < ) t_max (Vtime.of_int 1) then
     invalid_arg "Network.create: t_max must be at least one tick";
@@ -56,6 +161,13 @@ let create ~engine ~n ~t_max ?(mode = Optimistic) ?(partition = Partition.none)
     engine;
     trace;
     tracing = Trace.enabled trace;
+    topic_net = Trace.topic trace "net";
+    enc = (match payload_codec with Some (_, enc) -> Some enc | None -> None);
+    renderer_id = (match payload_codec with Some (rid, _) -> rid | None -> -1);
+    obs_renderer =
+      (match payload_codec with
+      | Some (rid, _) -> !obs_name_ids.(rid)
+      | None -> -1);
     n;
     t_max;
     mode;
@@ -98,15 +210,24 @@ let crash t site =
     Obs.instant t.obs ~at:(Engine.now t.engine) ~site:(Site_id.to_int site)
       ~tid:0 ~cat:"net" "crash";
   if t.tracing then
-    Trace.addf t.trace ~at:(Engine.now t.engine) ~topic:"net" "%a crashed"
-      Site_id.pp site
+    Trace.log1 t.trace ~at:(Engine.now t.engine) ~topic:t.topic_net
+      tmpl_crashed (Site_id.to_int site)
 
 let alive t site = not (is_dead t site)
 
 (* Call sites guard with [t.tracing] so a disabled trace costs neither
-   the format-argument closures nor the [Engine.now] read. *)
+   the payload encoding nor the [Engine.now] read.  [trace_net] is the
+   codec-less fallback (arbitrary payload types, eager rendering). *)
 let trace_net t fmt =
   Trace.addf t.trace ~at:(Engine.now t.engine) ~topic:"net" fmt
+
+let pack_sd src dst = (Site_id.to_int src lsl 10) lor Site_id.to_int dst
+
+(* One binary record: endpoints + coded payload under [tmpl]. *)
+let log_env t tmpl envelope enc =
+  Trace.log3 t.trace ~at:(Engine.now t.engine) ~topic:t.topic_net tmpl
+    (pack_sd envelope.src envelope.dst)
+    t.renderer_id (enc envelope.payload)
 
 let dispatch t site delivery =
   match t.handler with
@@ -124,9 +245,12 @@ let deliver t envelope flow =
       Obs.instant t.obs ~at:(Engine.now t.engine)
         ~site:(Site_id.to_int envelope.dst) ~tid:(t.obs_tid envelope.payload)
         ~cat:"net" "lost";
-    if t.tracing then
-      trace_net t "%a -> %a %a: lost (destination dead)" Site_id.pp
-        envelope.src Site_id.pp envelope.dst t.pp_payload envelope.payload;
+    (if t.tracing then
+       match t.enc with
+       | Some enc -> log_env t tmpl_lost_dest_dead envelope enc
+       | None ->
+           trace_net t "%a -> %a %a: lost (destination dead)" Site_id.pp
+             envelope.src Site_id.pp envelope.dst t.pp_payload envelope.payload);
     match t.tap with
     | None -> ()
     | Some tap -> tap (Lost { env = envelope; at = Engine.now t.engine })
@@ -137,9 +261,12 @@ let deliver t envelope flow =
       Obs.flow_end t.obs ~at:(Engine.now t.engine)
         ~site:(Site_id.to_int envelope.dst) ~tid:(t.obs_tid envelope.payload)
         flow;
-    if t.tracing then
-      trace_net t "%a -> %a: deliver %a" Site_id.pp envelope.src Site_id.pp
-        envelope.dst t.pp_payload envelope.payload;
+    (if t.tracing then
+       match t.enc with
+       | Some enc -> log_env t tmpl_deliver envelope enc
+       | None ->
+           trace_net t "%a -> %a: deliver %a" Site_id.pp envelope.src
+             Site_id.pp envelope.dst t.pp_payload envelope.payload);
     (match t.tap with
     | None -> ()
     | Some tap -> tap (Delivered { env = envelope; at = Engine.now t.engine }));
@@ -149,9 +276,16 @@ let deliver t envelope flow =
 let bounce t envelope flow =
   if is_dead t envelope.src then begin
     t.lost <- t.lost + 1;
-    if t.tracing then
-      trace_net t "UD(%a) for %a: lost (sender dead)" t.pp_payload
-        envelope.payload Site_id.pp envelope.src;
+    (if t.tracing then
+       match t.enc with
+       | Some enc ->
+           Trace.log3 t.trace ~at:(Engine.now t.engine) ~topic:t.topic_net
+             tmpl_ud_lost
+             (Site_id.to_int envelope.src)
+             t.renderer_id (enc envelope.payload)
+       | None ->
+           trace_net t "UD(%a) for %a: lost (sender dead)" t.pp_payload
+             envelope.payload Site_id.pp envelope.src);
     match t.tap with
     | None -> ()
     | Some tap -> tap (Lost { env = envelope; at = Engine.now t.engine })
@@ -164,9 +298,12 @@ let bounce t envelope flow =
       Obs.flow_end t.obs ~at:(Engine.now t.engine)
         ~site:(Site_id.to_int envelope.src) ~tid:(t.obs_tid envelope.payload)
         flow;
-    if t.tracing then
-      trace_net t "return UD(%a -> %a: %a) to sender" Site_id.pp envelope.src
-        Site_id.pp envelope.dst t.pp_payload envelope.payload;
+    (if t.tracing then
+       match t.enc with
+       | Some enc -> log_env t tmpl_bounce envelope enc
+       | None ->
+           trace_net t "return UD(%a -> %a: %a) to sender" Site_id.pp
+             envelope.src Site_id.pp envelope.dst t.pp_payload envelope.payload);
     (match t.tap with
     | None -> ()
     | Some tap -> tap (Bounced { env = envelope; at = Engine.now t.engine }));
@@ -186,9 +323,13 @@ let arrival t envelope flow =
         if t.obs_on then
           Obs.instant t.obs ~at:now ~site:(Site_id.to_int envelope.dst)
             ~tid:(t.obs_tid envelope.payload) ~cat:"net" "lost-at-B";
-        if t.tracing then
-          trace_net t "%a -> %a %a: lost at boundary B" Site_id.pp envelope.src
-            Site_id.pp envelope.dst t.pp_payload envelope.payload;
+        (if t.tracing then
+           match t.enc with
+           | Some enc -> log_env t tmpl_lost_at_b envelope enc
+           | None ->
+               trace_net t "%a -> %a %a: lost at boundary B" Site_id.pp
+                 envelope.src Site_id.pp envelope.dst t.pp_payload
+                 envelope.payload);
         match t.tap with
         | None -> ()
         | Some tap -> tap (Lost { env = envelope; at = Engine.now t.engine }))
@@ -216,9 +357,12 @@ let send t ~src ~dst payload =
     (* A dead site emits nothing: its pending timers may still "fire" in
        the simulation, but the resulting sends evaporate here. *)
     t.lost <- t.lost + 1;
-    if t.tracing then
-      trace_net t "%a -> %a %a: suppressed (sender dead)" Site_id.pp src
-        Site_id.pp dst t.pp_payload payload;
+    (if t.tracing then
+       match t.enc with
+       | Some enc -> log_env t tmpl_suppressed envelope enc
+       | None ->
+           trace_net t "%a -> %a %a: suppressed (sender dead)" Site_id.pp src
+             Site_id.pp dst t.pp_payload payload);
     match t.tap with
     | None -> ()
     | Some tap -> tap (Lost { env = envelope; at = Engine.now t.engine })
@@ -229,18 +373,29 @@ let send t ~src ~dst payload =
   | None -> ()
   | Some tap -> tap (Sent { env = envelope; at = Engine.now t.engine }));
   let d = Delay.sample t.delay ~rng:t.rng ~t_max:t.t_max ~src ~dst in
-  if t.tracing then
-    trace_net t "%a -> %a: send %a (hop %a)" Site_id.pp src Site_id.pp dst
-      t.pp_payload payload Vtime.pp d;
+  (if t.tracing then
+     match t.enc with
+     | Some enc ->
+         Trace.log4 t.trace ~at:envelope.sent_at ~topic:t.topic_net tmpl_send
+           (pack_sd src dst) t.renderer_id (enc payload) (Vtime.to_int d)
+     | None ->
+         trace_net t "%a -> %a: send %a (hop %a)" Site_id.pp src Site_id.pp dst
+           t.pp_payload payload Vtime.pp d);
   (* With obs off the scheduled closure captures exactly [t] and
      [envelope], as before obs existed — the hot path stays
      allocation-identical. *)
   let cb =
     if t.obs_on then begin
-      let name = Format.asprintf "%a" t.pp_payload payload in
       let flow =
-        Obs.flow_start t.obs ~at:envelope.sent_at ~site:(Site_id.to_int src)
-          ~tid:(t.obs_tid payload) name
+        match t.enc with
+        | Some enc ->
+            Obs.flow_start_coded t.obs ~at:envelope.sent_at
+              ~site:(Site_id.to_int src) ~tid:(t.obs_tid payload)
+              ~renderer:t.obs_renderer ~code:(enc payload) ()
+        | None ->
+            let name = Format.asprintf "%a" t.pp_payload payload in
+            Obs.flow_start t.obs ~at:envelope.sent_at
+              ~site:(Site_id.to_int src) ~tid:(t.obs_tid payload) name
       in
       fun () -> arrival t envelope flow
     end

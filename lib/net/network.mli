@@ -54,6 +54,12 @@ type stats = {
 
 type 'a t
 
+val register_payload_renderer : (Buffer.t -> int -> unit) -> int
+(** Register a renderer that turns a packed payload code (see
+    [payload_codec] below) back into the exact text [pp_payload] would
+    have produced.  Global and append-only — call only from module
+    initialisation, never per network or per run. *)
+
 val create :
   engine:Engine.t ->
   n:int ->
@@ -63,12 +69,20 @@ val create :
   ?delay:Delay.t ->
   ?seed:int64 ->
   ?pp_payload:(Format.formatter -> 'a -> unit) ->
+  ?payload_codec:int * ('a -> int) ->
   ?obs:Obs.t ->
   ?obs_tid:('a -> int) ->
   unit ->
   'a t
 (** Defaults: [mode = Optimistic], [partition = Partition.none],
     [delay = Delay.uniform ~t_max], [seed = 1L], [obs = Obs.disabled].
+
+    [payload_codec] is [(renderer_id, encode)] where [renderer_id] came
+    from {!register_payload_renderer} and [encode] packs a payload into
+    one int that the renderer can print.  When present, every trace
+    line the network writes is a compact binary record (a few int
+    stores); without it the network falls back to eager printf-style
+    tracing through [pp_payload].
 
     With an enabled [obs], every send opens a causality flow edge
     (named by [pp_payload]) that closes at the destination on delivery

@@ -25,6 +25,9 @@ val hash : t -> int
 val pp : Format.formatter -> t -> unit
 (** ["site3"], or ["master"] for site 1. *)
 
+val buf : Buffer.t -> t -> unit
+(** Byte-identical to {!pp}, for trace-template renderers. *)
+
 val all : n:int -> t list
 (** [all ~n] is [\[1; ...; n\]]. @raise Invalid_argument if [n < 1]. *)
 
@@ -38,3 +41,10 @@ module Map : Map.S with type key = t
 val set_of_ints : int list -> Set.t
 
 val pp_set : Format.formatter -> Set.t -> unit
+
+val set_to_mask : Set.t -> int
+(** Pack a set into a bitmask (bit [i] = site [i+1]) so it fits a trace
+    template argument. *)
+
+val buf_set_mask : Buffer.t -> int -> unit
+(** Render a {!set_to_mask} bitmask byte-identically to {!pp_set}. *)

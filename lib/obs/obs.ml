@@ -10,59 +10,160 @@ type event = {
   flow : int;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Coded-name registry                                                 *)
+(*                                                                     *)
+(* Same contract as {!Trace.register_template}: renderers are global   *)
+(* mutable state written only at module-init time, before any worker   *)
+(* domain spawns, so sweeps read the array without synchronisation.    *)
+(* The network layer registers one renderer per payload codec, and a   *)
+(* flow's name is then stored as two ints (renderer, code) instead of  *)
+(* a formatted string.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type name_renderer = Buffer.t -> int -> unit
+
+let renderers = ref (Array.make 8 (None : name_renderer option))
+
+let n_renderers = ref 0
+
+let register_name_renderer r =
+  let i = !n_renderers in
+  if i = Array.length !renderers then begin
+    let grown = Array.make (2 * i) None in
+    Array.blit !renderers 0 grown 0 i;
+    renderers := grown
+  end;
+  !renderers.(i) <- Some r;
+  incr n_renderers;
+  i
+
+(* ------------------------------------------------------------------ *)
+(* Storage                                                             *)
+(*                                                                     *)
+(* One event is [stride] consecutive ints in a flat growable array:    *)
+(* at, kind code, site, tid, name word, name code, cat id, flow id.    *)
+(* The name word is an id into the per-recorder intern table when      *)
+(* >= 0, or [-(renderer id) - 1] for a coded name whose argument sits  *)
+(* in the name-code word.  Categories are always interned.  Text is    *)
+(* materialised only when the recorder is read (iter / export).        *)
+(* ------------------------------------------------------------------ *)
+
+let stride = 8
+
+(* kind codes: 0 = begin, 1 = end, 2 = instant, 3 = flow start,
+   4 = flow end *)
+let kind_of_code = [| Span_begin; Span_end; Instant; Flow_start; Flow_end |]
+
 type t = {
   enabled : bool;
-  mutable events : event array;
-  mutable len : int;
-  open_spans : (int, (string * string) list) Hashtbl.t;
-      (* packed (site, tid) -> stack of (name, cat), innermost first *)
-  flow_meta : (int, string * string) Hashtbl.t;  (* flow id -> (name, cat) *)
+  mutable words : int array;
+  mutable len : int;  (* events recorded *)
+  (* per-recorder intern table: span/instant names and categories *)
+  ids : (string, int) Hashtbl.t;
+  mutable strs : string array;
+  mutable n_strs : int;
+  open_spans : (int, (int * int) list) Hashtbl.t;
+      (* packed (site, tid) -> stack of (name word, cat id), innermost
+         first *)
+  (* flow id -> (name word, name code, cat id); ids are a plain counter
+     from 1, so parallel arrays replace the old meta hashtable *)
+  mutable flow_name : int array;
+  mutable flow_code : int array;
+  mutable flow_cat : int array;
   mutable next_flow : int;
+  scratch : Buffer.t;  (* deferred-rendering scratch; reused per query *)
 }
 
-let dummy =
-  { at = Vtime.zero; kind = Instant; site = 0; tid = 0; name = ""; cat = ""; flow = 0 }
+let empty_text = ""
+
+let dummy_ids : (string, int) Hashtbl.t = Hashtbl.create 1
+
+let dummy_scratch = Buffer.create 1
 
 let disabled =
   {
     enabled = false;
-    events = [||];
+    words = [||];
     len = 0;
+    ids = dummy_ids;
+    strs = [||];
+    n_strs = 0;
     open_spans = Hashtbl.create 1;
-    flow_meta = Hashtbl.create 1;
+    flow_name = [||];
+    flow_code = [||];
+    flow_cat = [||];
     next_flow = 0;
+    scratch = dummy_scratch;
   }
 
 let create () =
   {
     enabled = true;
-    events = Array.make 1024 dummy;
+    words = Array.make (1024 * stride) 0;
     len = 0;
+    ids = Hashtbl.create 64;
+    strs = [||];
+    n_strs = 0;
     open_spans = Hashtbl.create 64;
-    flow_meta = Hashtbl.create 256;
+    flow_name = [||];
+    flow_code = [||];
+    flow_cat = [||];
     next_flow = 0;
+    scratch = Buffer.create 256;
   }
 
 let enabled t = t.enabled
 
 let num_events t = t.len
 
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some i -> i
+  | None ->
+      let i = t.n_strs in
+      if i = Array.length t.strs then begin
+        let grown = Array.make (max 32 (2 * i)) empty_text in
+        Array.blit t.strs 0 grown 0 i;
+        t.strs <- grown
+      end;
+      t.strs.(i) <- s;
+      t.n_strs <- i + 1;
+      Hashtbl.add t.ids s i;
+      i
+
+(* Claim the next record and return its base offset.  Only called with
+   [t.enabled]. *)
+let claim t =
+  (if t.len * stride = Array.length t.words then begin
+     let grown = Array.make (max (1024 * stride) (2 * t.len * stride)) 0 in
+     Array.blit t.words 0 grown 0 (t.len * stride);
+     t.words <- grown
+   end);
+  let base = t.len * stride in
+  t.len <- t.len + 1;
+  base
+
+let push t ~at ~kind ~site ~tid ~name ~code ~cat ~flow =
+  let base = claim t in
+  let w = t.words in
+  w.(base) <- Vtime.to_int at;
+  w.(base + 1) <- kind;
+  w.(base + 2) <- site;
+  w.(base + 3) <- tid;
+  w.(base + 4) <- name;
+  w.(base + 5) <- code;
+  w.(base + 6) <- cat;
+  w.(base + 7) <- flow
+
 (* Sites fit in a few bits and tids in well under 32; pack the pair so
    the per-track stacks live in one int-keyed table. *)
 let key ~site ~tid = (site lsl 32) lor (tid land 0xFFFFFFFF)
 
-let push t ev =
-  (if t.len = Array.length t.events then begin
-     let grown = Array.make (Stdlib.max 1024 (2 * t.len)) dummy in
-     Array.blit t.events 0 grown 0 t.len;
-     t.events <- grown
-   end);
-  t.events.(t.len) <- ev;
-  t.len <- t.len + 1
-
 let span_begin t ~at ~site ~tid ?(cat = "phase") name =
   if t.enabled then begin
-    push t { at; kind = Span_begin; site; tid; name; cat; flow = 0 };
+    let name = intern t name and cat = intern t cat in
+    push t ~at ~kind:0 ~site ~tid ~name ~code:0 ~cat ~flow:0;
     let k = key ~site ~tid in
     let stack =
       match Hashtbl.find_opt t.open_spans k with Some s -> s | None -> []
@@ -77,7 +178,7 @@ let span_end t ~at ~site ~tid =
     | None | Some [] -> ()  (* unbalanced end: drop rather than corrupt *)
     | Some ((name, cat) :: rest) ->
         Hashtbl.replace t.open_spans k rest;
-        push t { at; kind = Span_end; site; tid; name; cat; flow = 0 }
+        push t ~at ~kind:1 ~site ~tid ~name ~code:0 ~cat ~flow:0
 
 let open_depth t ~site ~tid =
   match Hashtbl.find_opt t.open_spans (key ~site ~tid) with
@@ -108,28 +209,76 @@ let close_open_spans t ~at =
 
 let instant t ~at ~site ~tid ?(cat = "mark") name =
   if t.enabled then
-    push t { at; kind = Instant; site; tid; name; cat; flow = 0 }
+    push t ~at ~kind:2 ~site ~tid ~name:(intern t name) ~code:0
+      ~cat:(intern t cat) ~flow:0
+
+(* Record a flow start whose name is already reduced to two ints; the
+   shared body of the string and coded entry points. *)
+let flow_start_raw t ~at ~site ~tid ~name ~code ~cat =
+  t.next_flow <- t.next_flow + 1;
+  let id = t.next_flow in
+  (if id > Array.length t.flow_name then begin
+     let n = max 256 (2 * Array.length t.flow_name) in
+     let grow a =
+       let g = Array.make n 0 in
+       Array.blit a 0 g 0 (id - 1);
+       g
+     in
+     t.flow_name <- grow t.flow_name;
+     t.flow_code <- grow t.flow_code;
+     t.flow_cat <- grow t.flow_cat
+   end);
+  t.flow_name.(id - 1) <- name;
+  t.flow_code.(id - 1) <- code;
+  t.flow_cat.(id - 1) <- cat;
+  push t ~at ~kind:3 ~site ~tid ~name ~code ~cat ~flow:id;
+  id
 
 let flow_start t ~at ~site ~tid ?(cat = "net") name =
   if not t.enabled then 0
-  else begin
-    t.next_flow <- t.next_flow + 1;
-    let id = t.next_flow in
-    Hashtbl.replace t.flow_meta id (name, cat);
-    push t { at; kind = Flow_start; site; tid; name; cat; flow = id };
-    id
-  end
+  else
+    flow_start_raw t ~at ~site ~tid ~name:(intern t name) ~code:0
+      ~cat:(intern t cat)
+
+let flow_start_coded t ~at ~site ~tid ?(cat = "net") ~renderer ~code () =
+  if not t.enabled then 0
+  else
+    flow_start_raw t ~at ~site ~tid ~name:(-renderer - 1) ~code
+      ~cat:(intern t cat)
 
 let flow_end t ~at ~site ~tid id =
-  if t.enabled && id <> 0 then
-    match Hashtbl.find_opt t.flow_meta id with
-    | None -> ()
-    | Some (name, cat) ->
-        push t { at; kind = Flow_end; site; tid; name; cat; flow = id }
+  if t.enabled && id <> 0 && id <= t.next_flow then
+    push t ~at ~kind:4 ~site ~tid ~name:t.flow_name.(id - 1)
+      ~code:t.flow_code.(id - 1) ~cat:t.flow_cat.(id - 1) ~flow:id
+
+(* ---- deferred rendering ------------------------------------------------ *)
+
+let render_name t ~name ~code =
+  if name >= 0 then t.strs.(name)
+  else begin
+    let buf = t.scratch in
+    Buffer.clear buf;
+    (match !renderers.(-name - 1) with
+    | Some render -> render buf code
+    | None -> Buffer.add_string buf "<unregistered renderer>");
+    Buffer.contents buf
+  end
+
+let event_of_base t base =
+  let w = t.words in
+  {
+    at = Vtime.of_int w.(base);
+    kind = kind_of_code.(w.(base + 1));
+    site = w.(base + 2);
+    tid = w.(base + 3);
+    name = render_name t ~name:w.(base + 4) ~code:w.(base + 5);
+    cat = t.strs.(w.(base + 6));
+    flow = w.(base + 7);
+  }
 
 let iter t f =
   for i = 0 to t.len - 1 do
-    f t.events.(i)
+    f (event_of_base t (i * stride))
   done
 
 (* ---- export ------------------------------------------------------------ *)
@@ -162,10 +311,14 @@ let add_int_field buf key value =
   Buffer.add_string buf (string_of_int value)
 
 (* Distinct sites and (site, tid) tracks, in sorted order, for the
-   trace_event metadata records. *)
+   trace_event metadata records.  Reads the packed words directly — no
+   event records, no name rendering. *)
 let tracks t =
   let keys = ref [] in
-  iter t (fun ev -> keys := key ~site:ev.site ~tid:ev.tid :: !keys);
+  for i = 0 to t.len - 1 do
+    let base = i * stride in
+    keys := key ~site:t.words.(base + 2) ~tid:t.words.(base + 3) :: !keys
+  done;
   let tracks = List.sort_uniq Int.compare !keys in
   let sites =
     List.sort_uniq Int.compare (List.map (fun k -> k lsr 32) tracks)
@@ -267,7 +420,9 @@ type edge = {
 (* Pair up begins/ends (per-track stacks) and flow starts/ends into
    closed spans and causality edges.  Events still open when the
    recorder stopped are dropped — harnesses call [close_open_spans]
-   first, so nothing is normally lost. *)
+   first, so nothing is normally lost.  Names are rendered here, at
+   export time; the sorts below compare the rendered strings so the
+   artifact is unchanged by the packed storage. *)
 let reconstruct t =
   let stacks : (int, (string * string * Vtime.t) list) Hashtbl.t =
     Hashtbl.create 64

@@ -73,6 +73,28 @@ val flow_start :
 (** Opens a causality edge at its source and returns its flow id
     ([0] when disabled; [cat] defaults to ["net"]). *)
 
+type name_renderer = Buffer.t -> int -> unit
+(** Renders a coded flow name from its packed-int argument.  Registered
+    once at module-init time (same domain-safety contract as
+    {!Trace.register_template}); the network layer registers one per
+    payload codec. *)
+
+val register_name_renderer : name_renderer -> int
+
+val flow_start_coded :
+  t ->
+  at:Vtime.t ->
+  site:int ->
+  tid:int ->
+  ?cat:string ->
+  renderer:int ->
+  code:int ->
+  unit ->
+  int
+(** {!flow_start} with the name stored as [(renderer, code)] — two int
+    writes instead of a formatted string.  The text is produced by the
+    registered renderer only when the recorder is exported. *)
+
 val flow_end : t -> at:Vtime.t -> site:int -> tid:int -> int -> unit
 (** Closes the edge at its destination.  No-op for flow id [0]. *)
 

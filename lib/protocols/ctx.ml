@@ -1,7 +1,86 @@
+(* Templates shared by every protocol actor, registered once at module
+   init (see Trace.register_template's domain-safety contract). *)
+
+let tmpl_ignoring =
+  Trace.register_template (fun b lookup code state _ _ _ ->
+      Buffer.add_string b "ignoring ";
+      Types.buf_msg_code b code;
+      Buffer.add_string b " in ";
+      Buffer.add_string b (lookup state))
+
+let tmpl_ud_ignored =
+  Trace.register_template (fun b lookup code state _ _ _ ->
+      Buffer.add_string b "UD(";
+      Types.buf_msg_code b code;
+      Buffer.add_string b ") ignored in ";
+      Buffer.add_string b (lookup state))
+
+(* Template factories for the recurring one-argument shapes, so each
+   protocol module can register its fixed wording at init time. *)
+
+let msg_template ~prefix ~suffix =
+  Trace.register_template (fun b _ code _ _ _ _ ->
+      Buffer.add_string b prefix;
+      Types.buf_msg_code b code;
+      Buffer.add_string b suffix)
+
+let msg_str_template ~prefix ~mid ~suffix =
+  Trace.register_template (fun b lookup code s _ _ _ ->
+      Buffer.add_string b prefix;
+      Types.buf_msg_code b code;
+      Buffer.add_string b mid;
+      Buffer.add_string b (lookup s);
+      Buffer.add_string b suffix)
+
+let str_template ~prefix ~suffix =
+  Trace.register_template (fun b lookup a0 _ _ _ _ ->
+      Buffer.add_string b prefix;
+      Buffer.add_string b (lookup a0);
+      Buffer.add_string b suffix)
+
+let str2_template ~prefix ~mid ~suffix =
+  Trace.register_template (fun b lookup a0 a1 _ _ _ ->
+      Buffer.add_string b prefix;
+      Buffer.add_string b (lookup a0);
+      Buffer.add_string b mid;
+      Buffer.add_string b (lookup a1);
+      Buffer.add_string b suffix)
+
+let int_template ~prefix ~suffix =
+  Trace.register_template (fun b _ a0 _ _ _ _ ->
+      Buffer.add_string b prefix;
+      Buffer.add_string b (string_of_int a0);
+      Buffer.add_string b suffix)
+
+let int2_template ~prefix ~mid ~suffix =
+  Trace.register_template (fun b _ a0 a1 _ _ _ ->
+      Buffer.add_string b prefix;
+      Buffer.add_string b (string_of_int a0);
+      Buffer.add_string b mid;
+      Buffer.add_string b (string_of_int a1);
+      Buffer.add_string b suffix)
+
+let site_template ~prefix ~suffix =
+  Trace.register_template (fun b _ a0 _ _ _ _ ->
+      Buffer.add_string b prefix;
+      Site_id.buf b (Site_id.of_int a0);
+      Buffer.add_string b suffix)
+
+let tmpl_decide =
+  Trace.register_template (fun b lookup decision reason _ _ _ ->
+      Buffer.add_string b
+        (if decision = 0 then "DECIDE commit" else "DECIDE abort");
+      if reason >= 0 then begin
+        Buffer.add_string b " (";
+        Buffer.add_string b (lookup reason);
+        Buffer.add_char b ')'
+      end)
+
 type t = {
   engine : Engine.t;
   trace : Trace.t;  (* cached Engine.trace *)
-  topic : string;  (* cached "%a" Site_id.pp self — once, not per log *)
+  tracing : bool;  (* cached Trace.enabled: callers guard argument work *)
+  topic : Trace.topic;  (* interned "%a" Site_id.pp self — once, not per log *)
   obs : Obs.t;
   obs_on : bool;  (* cached Obs.enabled *)
   site : int;  (* cached Site_id.to_int self, the obs track *)
@@ -32,11 +111,16 @@ let make ~engine ~n ~t_unit ~self ~trans_id ~send ~on_decide ~on_reason
   {
     engine;
     trace;
-    (* Rendering the topic costs ~280 words; with tracing off the string
-       is never read, so don't pay for it. *)
+    tracing = Trace.enabled trace;
+    (* The topic string is only built when tracing is on, and without
+       going through a formatter — contexts are created per (site, txn)
+       and the asprintf was a measurable share of the trace-on tax. *)
     topic =
-      (if Trace.enabled trace then Format.asprintf "%a" Site_id.pp self
-       else "");
+      (if Trace.enabled trace then
+         Trace.topic trace
+           (if Site_id.is_master self then "master"
+            else "site" ^ string_of_int (Site_id.to_int self))
+       else Trace.topic trace "");
     obs;
     obs_on;
     site;
@@ -66,7 +150,52 @@ let is_master t = Site_id.is_master t.self
 
 let slaves t = Site_id.slaves ~n:(n t)
 
-let log t fmt = Trace.addf t.trace ~at:(now t) ~topic:t.topic fmt
+let tracing t = t.tracing
+
+let intern t s = Trace.intern t.trace s
+
+(* Typed binary logging: a few int stores per record.  Callers whose
+   arguments cost anything to compute guard on {!tracing} first. *)
+
+let log1 t tmpl a0 =
+  if t.tracing then Trace.log1 t.trace ~at:(now t) ~topic:t.topic tmpl a0
+
+let log2 t tmpl a0 a1 =
+  if t.tracing then Trace.log2 t.trace ~at:(now t) ~topic:t.topic tmpl a0 a1
+
+let log3 t tmpl a0 a1 a2 =
+  if t.tracing then
+    Trace.log3 t.trace ~at:(now t) ~topic:t.topic tmpl a0 a1 a2
+
+let log_text t text =
+  if t.tracing then Trace.log_text t.trace ~at:(now t) ~topic:t.topic text
+
+let log_msg t tmpl msg =
+  if t.tracing then
+    Trace.log1 t.trace ~at:(now t) ~topic:t.topic tmpl (Types.msg_code msg)
+
+let log_str t tmpl s =
+  if t.tracing then
+    Trace.log1 t.trace ~at:(now t) ~topic:t.topic tmpl (intern t s)
+
+let log_msg_str t tmpl msg s =
+  if t.tracing then
+    Trace.log2 t.trace ~at:(now t) ~topic:t.topic tmpl (Types.msg_code msg)
+      (intern t s)
+
+let log_site t tmpl site =
+  if t.tracing then
+    Trace.log1 t.trace ~at:(now t) ~topic:t.topic tmpl (Site_id.to_int site)
+
+let log_ignoring t msg state =
+  if t.tracing then
+    Trace.log2 t.trace ~at:(now t) ~topic:t.topic tmpl_ignoring
+      (Types.msg_code msg) (intern t state)
+
+let log_ud_ignored t msg state =
+  if t.tracing then
+    Trace.log2 t.trace ~at:(now t) ~topic:t.topic tmpl_ud_ignored
+      (Types.msg_code msg) (intern t state)
 
 let obs t = t.obs
 
@@ -134,8 +263,10 @@ let decide t ?reason:why decision =
           (match decision with
           | Types.Commit -> "decide:commit"
           | Types.Abort -> "decide:abort");
-      log t "DECIDE %a%s" Types.pp_decision decision
-        (match why with Some w -> " (" ^ w ^ ")" | None -> "");
+      if t.tracing then
+        Trace.log2 t.trace ~at:(now t) ~topic:t.topic tmpl_decide
+          (match decision with Types.Commit -> 0 | Types.Abort -> 1)
+          (match why with Some w -> intern t w | None -> -1);
       t.on_decide decision
 
 module Timer_slot = struct

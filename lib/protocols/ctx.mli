@@ -72,7 +72,64 @@ val reason : t -> string -> unit
 (** Attach a free-form annotation ("FACT1 case 5", ...) retrievable from
     the run result; used to audit the proof's case analysis. *)
 
-val log : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** {1 Typed trace logging}
+
+    Protocol actors log through registered binary templates instead of
+    printf formats: a log call is a few int stores, and the text is
+    rendered only when the trace is read.  Templates are registered at
+    module-init time (the factories below, or {!Trace.register_template}
+    directly); the per-call payload is packed ints / interned strings. *)
+
+val tracing : t -> bool
+(** Cached [Trace.enabled].  Guard argument computation on this before
+    calling the [log*] functions below (they are also internally
+    guarded, so unguarded calls with cheap arguments are fine). *)
+
+val intern : t -> string -> int
+(** Intern a string in this context's trace for use as a template
+    argument. *)
+
+val log1 : t -> Trace.template -> int -> unit
+
+val log2 : t -> Trace.template -> int -> int -> unit
+
+val log3 : t -> Trace.template -> int -> int -> int -> unit
+
+val log_text : t -> string -> unit
+(** A text-only entry (the string is interned, so repeated messages
+    cost one int). *)
+
+val log_msg : t -> Trace.template -> Types.msg -> unit
+(** [log1] with a {!Types.msg_code}-packed message argument. *)
+
+val log_str : t -> Trace.template -> string -> unit
+(** [log1] with an interned-string argument. *)
+
+val log_site : t -> Trace.template -> Site_id.t -> unit
+
+val log_msg_str : t -> Trace.template -> Types.msg -> string -> unit
+
+val log_ignoring : t -> Types.msg -> string -> unit
+(** The ["ignoring <msg> in <state>"] line every protocol shares. *)
+
+val log_ud_ignored : t -> Types.msg -> string -> unit
+(** ["UD(<msg>) ignored in <state>"]. *)
+
+val msg_template : prefix:string -> suffix:string -> Trace.template
+(** [prefix ^ msg ^ suffix]; register at module init only. *)
+
+val msg_str_template :
+  prefix:string -> mid:string -> suffix:string -> Trace.template
+
+val str_template : prefix:string -> suffix:string -> Trace.template
+
+val str2_template : prefix:string -> mid:string -> suffix:string -> Trace.template
+
+val int_template : prefix:string -> suffix:string -> Trace.template
+
+val int2_template : prefix:string -> mid:string -> suffix:string -> Trace.template
+
+val site_template : prefix:string -> suffix:string -> Trace.template
 
 val obs : t -> Obs.t
 

@@ -98,8 +98,7 @@ let on_master_msg t state (envelope : Types.msg Network.envelope) =
   | (M_initial | M_committed | M_aborted), _
   | M_wait _, _
   | M_sent_commits _, _ ->
-      Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-        (state_name t)
+      Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
 let on_master_ud t state (envelope : Types.msg Network.envelope) =
   match state with
@@ -114,8 +113,7 @@ let on_master_ud t state (envelope : Types.msg Network.envelope) =
         ~reason:
           (Format.asprintf "UD(%a) in p1 (Rule b)" Types.pp_msg envelope.payload)
   | M_initial | M_committed | M_aborted ->
-      Ctx.log t.ctx "UD(%a) ignored in %s" Types.pp_msg envelope.payload
-        (state_name t)
+      Ctx.log_ud_ignored t.ctx envelope.payload (state_name t)
 
 let on_slave_msg t ~vote_yes state (envelope : Types.msg Network.envelope) =
   match (state, envelope.payload) with
@@ -140,8 +138,7 @@ let on_slave_msg t ~vote_yes state (envelope : Types.msg Network.envelope) =
   | (S_initial | S_wait), Types.Abort_cmd ->
       slave_abort t ~vote_yes ~reason:"abort command"
   | (S_initial | S_wait | S_committed | S_aborted), _ ->
-      Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-        (state_name t)
+      Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
 let on_slave_ud t ~vote_yes state (envelope : Types.msg Network.envelope) =
   match state with
@@ -150,8 +147,7 @@ let on_slave_ud t ~vote_yes state (envelope : Types.msg Network.envelope) =
         ~reason:
           (Format.asprintf "UD(%a) in w (Rule b)" Types.pp_msg envelope.payload)
   | S_initial | S_committed | S_aborted ->
-      Ctx.log t.ctx "UD(%a) ignored in %s" Types.pp_msg envelope.payload
-        (state_name t)
+      Ctx.log_ud_ignored t.ctx envelope.payload (state_name t)
 
 let on_delivery t delivery =
   match (t.machine, delivery) with

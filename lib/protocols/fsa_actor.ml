@@ -2,6 +2,8 @@ module M = Commit_fsa.Machine
 
 type outcome = [ `To_commit | `To_abort ]
 
+let tmpl_fsa_transition = Ctx.str2_template ~prefix:"fsa: " ~mid:" -> " ~suffix:""
+
 type assignment = {
   timeouts : ((M.role * string) * outcome) list;
   uds : ((M.role * string) * outcome) list;
@@ -154,7 +156,9 @@ let make ~name:protocol_name fsa assignment =
       let kind = match outcome with `To_commit -> M.Commit | `To_abort -> M.Abort in
       t.state <- final_of t kind;
       Ctx.obs_state t.ctx t.state;
-      Ctx.log t.ctx "fsa: %s -> %s" why t.state;
+      if Ctx.tracing t.ctx then
+        Ctx.log2 t.ctx tmpl_fsa_transition (Ctx.intern t.ctx why)
+          (Ctx.intern t.ctx t.state);
       if role_of t = M.Master then
         Ctx.broadcast_slaves t.ctx
           (match outcome with

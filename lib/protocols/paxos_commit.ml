@@ -2,6 +2,15 @@ module type RESILIENCE = sig
   val f : int
 end
 
+let tmpl_escalating = Ctx.int_template ~prefix:"px: escalating to ballot " ~suffix:""
+
+let tmpl_leading_b0 =
+  Ctx.int2_template ~prefix:"px: leading ballot 0 (" ~mid:" acceptors, majority "
+    ~suffix:")"
+
+let tmpl_ud_observed =
+  Ctx.msg_str_template ~prefix:"UD(" ~mid:") observed in " ~suffix:""
+
 module Make (R : RESILIENCE) = struct
   let name =
     if R.f = 0 then "paxos-f0"
@@ -160,7 +169,7 @@ module Make (R : RESILIENCE) = struct
     | Types.Yes | Types.No | Types.Pre_prepare | Types.Pre_ack | Types.Prepare
     | Types.Ack | Types.Probe _ | Types.State_inquiry _ | Types.State_answer _
       ->
-        Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg msg (state_name t)
+        Ctx.log_ignoring t.ctx msg (state_name t)
 
   (* Cast the ballot-0 2a for our own instance.  A participant that
      votes Aborted may decide unilaterally: no acceptor can ever accept
@@ -207,7 +216,7 @@ module Make (R : RESILIENCE) = struct
           };
       if Ctx.obs_on t.ctx then
         Ctx.obs_phase t.ctx (Printf.sprintf "poll-b%d" ballot);
-      Ctx.log t.ctx "px: escalating to ballot %d" ballot;
+      Ctx.log1 t.ctx tmpl_escalating ballot;
       List.iter
         (fun a ->
           if not t.finished then send_px t a (Types.Px_poll { ballot }))
@@ -302,7 +311,7 @@ module Make (R : RESILIENCE) = struct
     | Site.Slave_role _ -> ()
     | Site.Master_role ->
         if (not t.voted) && not t.finished then begin
-          Ctx.log t.ctx "px: leading ballot 0 (%d acceptors, majority %d)"
+          Ctx.log2 t.ctx tmpl_leading_b0
             (acceptor_count (Ctx.n t.ctx))
             (majority t);
           Ctx.broadcast_slaves t.ctx Types.Xact;
@@ -323,8 +332,7 @@ module Make (R : RESILIENCE) = struct
     | Network.Undeliverable envelope ->
         (* A bounce carries no new information: the escalation timer
            already bounds the wait, and polls are re-sent on retry. *)
-        Ctx.log t.ctx "UD(%a) observed in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_msg_str t.ctx tmpl_ud_observed envelope.payload (state_name t)
     | Network.Msg envelope -> handle t ~src:envelope.src envelope.payload
 end
 

@@ -11,6 +11,16 @@ module Uniform_weights = struct
   let weight _ = 1
 end
 
+let tmpl_quorum_termination =
+  Ctx.str_template ~prefix:"quorum termination (" ~suffix:")"
+
+let tmpl_blocked_repolling =
+  Ctx.int_template ~prefix:"group weight "
+    ~suffix:" cannot reach a quorum; blocked, re-polling"
+
+let tmpl_late_answer =
+  Ctx.site_template ~prefix:"late state-answer from " ~suffix:" ignored"
+
 module Make (W : WEIGHTS) = struct
   let name = "quorum"
 
@@ -102,7 +112,7 @@ module Make (W : WEIGHTS) = struct
     match t.base with
     | B_committed | B_aborted -> ()
     | B_initial | B_wait _ | B_prepared _ ->
-        Ctx.log t.ctx "quorum termination (%s)" why;
+        Ctx.log_str t.ctx tmpl_quorum_termination why;
         let term =
           match t.terminating with
           | Some term ->
@@ -149,9 +159,7 @@ module Make (W : WEIGHTS) = struct
                  "no prepared member and group weight %d >= abort quorum %d"
                  group_weight (abort_quorum ~n))
         else begin
-          Ctx.log t.ctx
-            "group weight %d cannot reach a quorum; blocked, re-polling"
-            group_weight;
+          Ctx.log1 t.ctx tmpl_blocked_repolling group_weight;
           Ctx.Timer_slot.set t.ctx t.timer ~mult_t:5 ~label:(Label.Static "quorum-retry")
             (fun () -> start_termination t ~why:"re-poll")
         end
@@ -219,16 +227,14 @@ module Make (W : WEIGHTS) = struct
         | Some term ->
             term.answers <- Site_id.Map.add envelope.src phase term.answers
         | None ->
-            Ctx.log t.ctx "late state-answer from %a ignored" Site_id.pp
-              envelope.src)
+            Ctx.log_site t.ctx tmpl_late_answer envelope.src)
     | ( _,
         _,
         ( Types.Xact | Types.Yes | Types.No | Types.Pre_prepare
         | Types.Pre_ack | Types.Prepare | Types.Ack | Types.Probe _
         | Types.Commit_cmd | Types.Abort_cmd | Types.Px_vote _
         | Types.Px_accept _ | Types.Px_poll _ | Types.Px_promise _ ) ) ->
-        Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
   let on_delivery t = function
     | Network.Msg envelope -> on_base_msg t envelope

@@ -71,7 +71,7 @@ let run ?tap ?(obs = Obs.disabled) ?scratch (module P : Site.S) config =
   let net =
     Network.create ~engine ~n:config.n ~t_max:config.t_unit ~mode:config.mode
       ~partition:config.partition ~delay:config.delay ~seed:config.seed
-      ~pp_payload:Types.pp_msg ~obs
+      ~pp_payload:Types.pp_msg ~payload_codec:Types.msg_codec ~obs
       ~obs_tid:(fun _ -> 1)  (* the single transaction *)
       ()
   in

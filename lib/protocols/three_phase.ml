@@ -2,6 +2,10 @@ let name = "3pc"
 
 let blocking_by_design = true
 
+let tmpl_ud_dropped =
+  Ctx.msg_template ~prefix:"UD("
+    ~suffix:") ignored (plain 3pc has no UD transitions)"
+
 type master_state =
   | M_initial
   | M_wait of { yes : Site_id.Set.t }  (** w1 *)
@@ -67,8 +71,7 @@ let on_master t state (envelope : Types.msg Network.envelope) =
   | (M_initial | M_committed | M_aborted), _
   | M_wait _, _
   | M_prepared _, _ ->
-      Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-        (state_name t)
+      Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
 let on_slave t ~vote_yes state (envelope : Types.msg Network.envelope) =
   let set state' = t.machine <- Slave { vote_yes; state = state' } in
@@ -96,13 +99,11 @@ let on_slave t ~vote_yes state (envelope : Types.msg Network.envelope) =
   | S_initial, _
   | S_wait, _
   | S_prepared, _ ->
-      Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-        (state_name t)
+      Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
 let on_delivery t = function
   | Network.Undeliverable envelope ->
-      Ctx.log t.ctx "UD(%a) ignored (plain 3pc has no UD transitions)"
-        Types.pp_msg envelope.payload
+      Ctx.log_msg t.ctx tmpl_ud_dropped envelope.payload
   | Network.Msg envelope -> (
       match t.machine with
       | Master state -> on_master t state envelope

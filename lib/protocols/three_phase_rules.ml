@@ -117,8 +117,7 @@ struct
     | (M_initial | M_committed | M_aborted), _
     | M_wait _, _
     | M_prepared _, _ ->
-        Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
   let on_master_ud t state (envelope : Types.msg Network.envelope) =
     let why rule =
@@ -132,8 +131,7 @@ struct
         | `Paper -> master_commit t ~reason:(why "commit (Rule b, paper)")
         | `Strict -> master_abort t ~reason:(why "abort (Rule b, strict)"))
     | M_initial | M_committed | M_aborted ->
-        Ctx.log t.ctx "UD(%a) ignored in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ud_ignored t.ctx envelope.payload (state_name t)
 
   let on_slave_msg t ~vote_yes state (envelope : Types.msg Network.envelope) =
     match (state, envelope.payload) with
@@ -173,8 +171,7 @@ struct
     | S_initial, _
     | S_wait, _
     | S_prepared, _ ->
-        Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
   let on_slave_ud t ~vote_yes state (envelope : Types.msg Network.envelope) =
     let why outcome =
@@ -194,8 +191,7 @@ struct
             slave_finish t ~vote_yes ~decision:Types.Abort
               ~reason:(why "abort (Rule b, strict)"))
     | S_initial | S_committed | S_aborted ->
-        Ctx.log t.ctx "UD(%a) ignored in %s" Types.pp_msg envelope.payload
-          (state_name t)
+        Ctx.log_ud_ignored t.ctx envelope.payload (state_name t)
 
   let on_delivery t delivery =
     match (t.machine, delivery) with

@@ -2,6 +2,9 @@ let name = "3pc-skeen"
 
 let blocking_by_design = false
 
+let tmpl_coop_termination =
+  Ctx.str_template ~prefix:"cooperative termination (" ~suffix:")"
+
 type base_state =
   | B_initial
   | B_wait of { yes : Site_id.Set.t }  (** master: w1 collecting; slave: w *)
@@ -80,7 +83,7 @@ let rec start_termination t ~why =
   match t.base with
   | B_committed | B_aborted -> ()
   | B_initial | B_wait _ | B_prepared _ ->
-      Ctx.log t.ctx "cooperative termination (%s)" why;
+      Ctx.log_str t.ctx tmpl_coop_termination why;
       t.terminating <- Some (Collecting { answers = Site_id.Map.empty });
       Ctx.broadcast_all t.ctx
         (Types.State_inquiry { coordinator = Ctx.self t.ctx });
@@ -209,16 +212,14 @@ let on_msg t (envelope : Types.msg Network.envelope) =
           if Site_id.Set.is_empty pending then finish_reprepare t
           else t.terminating <- Some (Repreparing { pending })
       | Some (Collecting _) | None ->
-          Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-            (state_name t))
+          Ctx.log_ignoring t.ctx envelope.payload (state_name t))
   | _, (B_committed | B_aborted), (Types.Commit_cmd | Types.Abort_cmd)
   | ( _,
       _,
       ( Types.Xact | Types.Yes | Types.No | Types.Pre_prepare | Types.Pre_ack
       | Types.Prepare | Types.Probe _ | Types.Px_vote _ | Types.Px_accept _
       | Types.Px_poll _ | Types.Px_promise _ ) ) ->
-      Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-        (state_name t)
+      Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
 let on_delivery t = function
   | Network.Msg envelope -> on_msg t envelope

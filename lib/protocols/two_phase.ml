@@ -2,6 +2,9 @@ let name = "2pc"
 
 let blocking_by_design = true
 
+let tmpl_ud_dropped =
+  Ctx.msg_template ~prefix:"UD(" ~suffix:") ignored (2pc has no UD transitions)"
+
 type master_state =
   | M_initial
   | M_wait of { yes : Site_id.Set.t }  (** w1: collecting votes *)
@@ -34,7 +37,7 @@ let state_name t =
 let begin_transaction t =
   match t.machine with
   | Master M_initial ->
-      Ctx.log t.ctx "request received; sending xact to all slaves";
+      Ctx.log_text t.ctx "request received; sending xact to all slaves";
       Ctx.broadcast_slaves t.ctx Types.Xact;
       t.machine <- Master (M_wait { yes = Site_id.Set.empty })
   | Master (M_wait _ | M_committed | M_aborted) | Slave _ -> ()
@@ -57,8 +60,7 @@ let on_master t state (envelope : Types.msg Network.envelope) =
       t.machine <- Master M_aborted;
       Ctx.decide t.ctx Types.Abort
   | (M_initial | M_committed | M_aborted), _ | M_wait _, _ ->
-      Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-        (state_name t)
+      Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
 let on_slave t ~vote_yes state (envelope : Types.msg Network.envelope) =
   match (state, envelope.payload) with
@@ -79,15 +81,13 @@ let on_slave t ~vote_yes state (envelope : Types.msg Network.envelope) =
       t.machine <- Slave { vote_yes; state = S_aborted };
       Ctx.decide t.ctx Types.Abort
   | (S_initial | S_wait | S_committed | S_aborted), _ ->
-      Ctx.log t.ctx "ignoring %a in %s" Types.pp_msg envelope.payload
-        (state_name t)
+      Ctx.log_ignoring t.ctx envelope.payload (state_name t)
 
 let on_delivery t = function
   | Network.Undeliverable envelope ->
       (* Pure 2PC has no undeliverable-message transitions: the bounce is
          observed and dropped — this is exactly why it blocks. *)
-      Ctx.log t.ctx "UD(%a) ignored (2pc has no UD transitions)" Types.pp_msg
-        envelope.payload
+      Ctx.log_msg t.ctx tmpl_ud_dropped envelope.payload
   | Network.Msg envelope -> (
       match t.machine with
       | Master state -> on_master t state envelope

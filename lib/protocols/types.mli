@@ -55,3 +55,22 @@ val pp_msg : Format.formatter -> msg -> unit
 
 val msg_tag : msg -> string
 (** Short stable tag ("xact", "probe", ...) used in traces and tests. *)
+
+(** {1 Binary trace codec} *)
+
+val phase_index : phase -> int
+(** 0..4, in declaration order; the inverse lives in {!buf_msg_code}'s
+    phase table. *)
+
+val msg_code : msg -> int
+(** Pack a message into one int: bits 0-4 constructor tag, bits 5-14
+    site id, bit 15 the [prepared] flag, bits 16-39 the numeric field
+    (trans_id / ballot / phase).  Bits 40+ stay free for an enclosing
+    wire code. *)
+
+val buf_msg_code : Buffer.t -> int -> unit
+(** Render a {!msg_code} byte-identically to {!pp_msg}. *)
+
+val msg_codec : int * (msg -> int)
+(** Ready-made [payload_codec] for [Network.create] when the payload
+    type is {!msg}. *)

@@ -33,6 +33,12 @@ let dummy =
     action = ignore;
   }
 
+let tmpl_runaway =
+  Trace.register_template (fun b _ n _ _ _ _ ->
+      Buffer.add_string b "run aborted after ";
+      Buffer.add_string b (string_of_int n);
+      Buffer.add_string b " events (runaway guard)")
+
 type t = {
   mutable clock : Vtime.t;
   (* Monomorphic binary min-heap with [precedes] inlined at each sift
@@ -175,5 +181,6 @@ let run ?(until = Vtime.infinity) ?(max_events = default_max_events) t =
     else continue := false
   done;
   if !budget = 0 then
-    Trace.addf t.trace ~at:t.clock ~topic:"engine"
-      "run aborted after %d events (runaway guard)" max_events
+    Trace.log1 t.trace ~at:t.clock
+      ~topic:(Trace.topic t.trace "engine")
+      tmpl_runaway max_events

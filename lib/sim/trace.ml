@@ -1,23 +1,94 @@
 type entry = { at : Vtime.t; topic : string; text : string }
 
-(* A bounded ring buffer.  [data] grows by doubling until it reaches
-   [capacity], then wraps: entry number [i] (0-based since creation)
-   lives at [i mod capacity], so the newest [capacity] entries are
-   retained and older ones are overwritten.  [appended] is the total
-   ever appended — [length] keeps its historical "number of adds"
-   meaning even after wrapping. *)
+(* ------------------------------------------------------------------ *)
+(* Template registry                                                   *)
+(*                                                                     *)
+(* A template is a renderer closure registered once, at module-init    *)
+(* time, by the library that owns the format (network, protocols, tm,  *)
+(* cluster).  The registry is global mutable state shared by every     *)
+(* trace; it is only ever written before any worker domain spawns, so  *)
+(* the parallel sweeps read it without synchronisation.                *)
+(* ------------------------------------------------------------------ *)
+
+type renderer =
+  Buffer.t -> (int -> string) -> int -> int -> int -> int -> int -> unit
+
+type template = int
+
+let renderers = ref (Array.make 16 (None : renderer option))
+
+let n_renderers = ref 0
+
+let register_template r =
+  let i = !n_renderers in
+  if i = Array.length !renderers then begin
+    let grown = Array.make (2 * i) None in
+    Array.blit !renderers 0 grown 0 i;
+    renderers := grown
+  end;
+  !renderers.(i) <- Some r;
+  incr n_renderers;
+  i
+
+(* The built-in template for static (or per-call interned) text: arg 0
+   is a string id in the trace's intern table. *)
+let text_template =
+  register_template (fun buf lookup a0 _ _ _ _ ->
+      Buffer.add_string buf (lookup a0))
+
+(* ------------------------------------------------------------------ *)
+(* Storage                                                             *)
+(*                                                                     *)
+(* A record is [stride] consecutive ints in a flat ring: virtual time, *)
+(* interned topic id, template id, then up to five template arguments. *)
+(* Template id [-1] marks an eager entry whose pre-rendered text lives *)
+(* in the parallel [texts] ring (the legacy [add]/[addf] path).  Both  *)
+(* rings grow by doubling until [capacity] entries, then wrap: entry   *)
+(* number [i] (0-based since creation) lives at slot [i mod length],   *)
+(* so the newest [capacity] entries are retained.  [appended] is the   *)
+(* total ever appended — [length] keeps its historical "number of      *)
+(* adds" meaning even after wrapping.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let stride = 8
+
 type t = {
   enabled : bool;
   capacity : int;
-  mutable data : entry array;
+  mutable words : int array;
+  mutable texts : string array;
   mutable appended : int;
+  (* per-trace intern table: topics, static label text, dynamic strings *)
+  ids : (string, int) Hashtbl.t;
+  mutable strs : string array;
+  mutable n_strs : int;
+  scratch : Buffer.t;  (** deferred-rendering scratch; reused per query *)
 }
 
 let default_capacity = 65536
 
+let empty_text = ""
+
+(* Disabled traces never intern and never render, so they can all share
+   one dummy table and scratch buffer instead of allocating their own
+   (sweeps create one disabled trace per run). *)
+let dummy_ids : (string, int) Hashtbl.t = Hashtbl.create 1
+
+let dummy_scratch = Buffer.create 1
+
 let create ?(enabled = true) ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
-  { enabled; capacity; data = [||]; appended = 0 }
+  {
+    enabled;
+    capacity;
+    words = [||];
+    texts = [||];
+    appended = 0;
+    ids = (if enabled then Hashtbl.create 64 else dummy_ids);
+    strs = [||];
+    n_strs = 0;
+    scratch = (if enabled then Buffer.create 256 else dummy_scratch);
+  }
 
 let enabled t = t.enabled
 
@@ -29,18 +100,68 @@ let retained t = min t.appended t.capacity
 
 let dropped t = t.appended - retained t
 
+(* ------------------------------------------------------------------ *)
+(* Interning                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* [Hashtbl.find] instead of [find_opt]: the hit path (every log call
+   with a repeated string) must not allocate an option. *)
+let intern t s =
+  if not t.enabled then 0
+  else
+    match Hashtbl.find t.ids s with
+    | i -> i
+    | exception Not_found ->
+        let i = t.n_strs in
+        if i = Array.length t.strs then begin
+          let grown = Array.make (max 32 (2 * i)) empty_text in
+          Array.blit t.strs 0 grown 0 i;
+          t.strs <- grown
+        end;
+        t.strs.(i) <- s;
+        t.n_strs <- i + 1;
+        Hashtbl.add t.ids s i;
+        i
+
+type topic = int
+
+let topic = intern
+
+let lookup t i = t.strs.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Claim the next slot, growing the rings if still under capacity.
+   Only called with [t.enabled]. *)
+let claim t =
+  let len = Array.length t.texts in
+  if t.appended = len && len < t.capacity then begin
+    let n = min t.capacity (max 64 (2 * len)) in
+    let words = Array.make (n * stride) 0 in
+    Array.blit t.words 0 words 0 (len * stride);
+    let texts = Array.make n empty_text in
+    Array.blit t.texts 0 texts 0 len;
+    t.words <- words;
+    t.texts <- texts
+  end;
+  let slot = t.appended mod Array.length t.texts in
+  t.appended <- t.appended + 1;
+  (* a wrapped slot may hold a stale eager text: drop the reference so
+     the ring never pins old strings alive (and [-1] templates never
+     read a wrong one) *)
+  if t.texts.(slot) != empty_text then t.texts.(slot) <- empty_text;
+  slot
+
 let add t ~at ~topic text =
   if t.enabled then begin
-    let entry = { at; topic; text } in
-    let cap = Array.length t.data in
-    (if t.appended = cap && cap < t.capacity then begin
-       (* still growing: double, seeded with [entry] so no dummy needed *)
-       let data = Array.make (min t.capacity (max 64 (2 * cap))) entry in
-       Array.blit t.data 0 data 0 cap;
-       t.data <- data
-     end);
-    t.data.(t.appended mod Array.length t.data) <- entry;
-    t.appended <- t.appended + 1
+    let slot = claim t in
+    let base = slot * stride in
+    t.words.(base) <- Vtime.to_int at;
+    t.words.(base + 1) <- intern t topic;
+    t.words.(base + 2) <- -1;
+    t.texts.(slot) <- text
   end
 
 (* The disabled branch must consume the format arguments without
@@ -54,34 +175,137 @@ let addf t ~at ~topic fmt =
   if t.enabled then Format.kasprintf (fun text -> add t ~at ~topic text) fmt
   else Format.ikfprintf (fun _ -> ()) null_formatter fmt
 
-(* Oldest retained entry is number [dropped t]; iteration walks entry
-   numbers forward and indexes mod the array length — no List.rev. *)
+(* The typed fast path: a handful of int stores per record.  Callers
+   are expected to test {!enabled} once (a cached flag) and compute the
+   arguments inside that guard, so a disabled trace costs nothing. *)
 
-let get t i = t.data.(i mod Array.length t.data)
+let log5 t ~at ~topic tmpl a0 a1 a2 a3 a4 =
+  if t.enabled then begin
+    let slot = claim t in
+    let base = slot * stride in
+    let w = t.words in
+    w.(base) <- Vtime.to_int at;
+    w.(base + 1) <- topic;
+    w.(base + 2) <- tmpl;
+    w.(base + 3) <- a0;
+    w.(base + 4) <- a1;
+    w.(base + 5) <- a2;
+    w.(base + 6) <- a3;
+    w.(base + 7) <- a4
+  end
+
+let log4 t ~at ~topic tmpl a0 a1 a2 a3 =
+  if t.enabled then begin
+    let slot = claim t in
+    let base = slot * stride in
+    let w = t.words in
+    w.(base) <- Vtime.to_int at;
+    w.(base + 1) <- topic;
+    w.(base + 2) <- tmpl;
+    w.(base + 3) <- a0;
+    w.(base + 4) <- a1;
+    w.(base + 5) <- a2;
+    w.(base + 6) <- a3
+  end
+
+let log3 t ~at ~topic tmpl a0 a1 a2 =
+  if t.enabled then begin
+    let slot = claim t in
+    let base = slot * stride in
+    let w = t.words in
+    w.(base) <- Vtime.to_int at;
+    w.(base + 1) <- topic;
+    w.(base + 2) <- tmpl;
+    w.(base + 3) <- a0;
+    w.(base + 4) <- a1;
+    w.(base + 5) <- a2
+  end
+
+let log2 t ~at ~topic tmpl a0 a1 =
+  if t.enabled then begin
+    let slot = claim t in
+    let base = slot * stride in
+    let w = t.words in
+    w.(base) <- Vtime.to_int at;
+    w.(base + 1) <- topic;
+    w.(base + 2) <- tmpl;
+    w.(base + 3) <- a0;
+    w.(base + 4) <- a1
+  end
+
+let log1 t ~at ~topic tmpl a0 =
+  if t.enabled then begin
+    let slot = claim t in
+    let base = slot * stride in
+    let w = t.words in
+    w.(base) <- Vtime.to_int at;
+    w.(base + 1) <- topic;
+    w.(base + 2) <- tmpl;
+    w.(base + 3) <- a0
+  end
+
+let log0 t ~at ~topic tmpl =
+  if t.enabled then begin
+    let slot = claim t in
+    let base = slot * stride in
+    let w = t.words in
+    w.(base) <- Vtime.to_int at;
+    w.(base + 1) <- topic;
+    w.(base + 2) <- tmpl
+  end
+
+let log_text t ~at ~topic text = log1 t ~at ~topic text_template (intern t text)
+
+(* ------------------------------------------------------------------ *)
+(* Deferred rendering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Oldest retained entry is number [dropped t]; iteration walks entry
+   numbers forward and indexes mod the ring length. *)
+
+let text_of_slot t slot =
+  let base = slot * stride in
+  let w = t.words in
+  let tmpl = w.(base + 2) in
+  if tmpl < 0 then t.texts.(slot)
+  else begin
+    let buf = t.scratch in
+    Buffer.clear buf;
+    (match !renderers.(tmpl) with
+    | Some render ->
+        render buf (lookup t) w.(base + 3) w.(base + 4) w.(base + 5)
+          w.(base + 6) w.(base + 7)
+    | None -> Buffer.add_string buf "<unregistered template>");
+    Buffer.contents buf
+  end
+
+let entry_of_slot t slot =
+  let base = slot * stride in
+  {
+    at = Vtime.of_int t.words.(base);
+    topic = t.strs.(t.words.(base + 1));
+    text = text_of_slot t slot;
+  }
+
+let get t i = entry_of_slot t (i mod Array.length t.texts)
 
 let iter f t =
   for i = dropped t to t.appended - 1 do
     f (get t i)
   done
 
-(* Build oldest-first lists by consing newest-first. *)
-let entries t =
-  let acc = ref [] in
-  for i = t.appended - 1 downto dropped t do
-    acc := get t i :: !acc
-  done;
-  !acc
+let iter_topic ~topic f t =
+  if t.appended > 0 then
+    match Hashtbl.find_opt t.ids topic with
+    | None -> ()
+    | Some tid ->
+        let len = Array.length t.texts in
+        for i = dropped t to t.appended - 1 do
+          let slot = i mod len in
+          if t.words.((slot * stride) + 1) = tid then f (entry_of_slot t slot)
+        done
 
-let filter ~topic t =
-  let acc = ref [] in
-  for i = t.appended - 1 downto dropped t do
-    let e = get t i in
-    if String.equal e.topic topic then acc := e :: !acc
-  done;
-  !acc
-
-(* Index-based substring search: the old version allocated a fresh
-   [String.sub] per candidate position. *)
+(* Index-based substring search: no per-position [String.sub]. *)
 let contains_substring haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   if nn = 0 then true
@@ -105,17 +329,48 @@ let contains_substring haystack needle =
     !found
   end
 
+let iter_matching ~pattern f t =
+  let len = Array.length t.texts in
+  for i = dropped t to t.appended - 1 do
+    let slot = i mod len in
+    if contains_substring (text_of_slot t slot) pattern then
+      f (entry_of_slot t slot)
+  done
+
+(* Build oldest-first lists by consing newest-first. *)
+let entries t =
+  let acc = ref [] in
+  for i = t.appended - 1 downto dropped t do
+    acc := get t i :: !acc
+  done;
+  !acc
+
+let filter ~topic t =
+  let acc = ref [] in
+  iter_topic ~topic (fun e -> acc := e :: !acc) t;
+  List.rev !acc
+
 let find t ~pattern =
   let result = ref None in
   let i = ref (dropped t) in
+  let len = Array.length t.texts in
   while Option.is_none !result && !i < t.appended do
-    let e = get t !i in
-    if contains_substring e.text pattern then result := Some e;
+    let slot = !i mod len in
+    if contains_substring (text_of_slot t slot) pattern then
+      result := Some (entry_of_slot t slot);
     incr i
   done;
   !result
 
-let mem t ~pattern = Option.is_some (find t ~pattern)
+let mem t ~pattern =
+  let hit = ref false in
+  let i = ref (dropped t) in
+  let len = Array.length t.texts in
+  while (not !hit) && !i < t.appended do
+    if contains_substring (text_of_slot t (!i mod len)) pattern then hit := true;
+    incr i
+  done;
+  !hit
 
 let pp_entry fmt e =
   Format.fprintf fmt "[%6s] %-8s %s"

@@ -5,9 +5,18 @@
     counterexamples inspectable: the example programs replay them
     entry-by-entry.
 
-    Storage is a bounded ring buffer: the newest {!capacity} entries
-    are retained, older ones are overwritten, and all read paths
-    iterate forward over the ring (no per-call [List.rev]).  Disabled
+    Storage is binary: each record is a handful of packed ints (virtual
+    time, interned topic id, template id, template arguments) in a flat
+    ring buffer — the newest {!capacity} records are retained, older
+    ones are overwritten.  No string is built when a record is appended;
+    rendering happens lazily, at query/export time, through a global
+    registry of template renderers plus a per-trace string-interning
+    table.  This is what makes always-on tracing affordable: the hot
+    path costs a few int stores instead of a [Format.kasprintf].
+
+    The legacy {!add}/{!addf} calls still work (they store an eagerly
+    rendered string alongside the binary record) — they are for cold
+    paths and tests; hot call sites use the typed [log*] API.  Disabled
     traces are pure no-ops on every write path. *)
 
 type entry = {
@@ -19,8 +28,8 @@ type entry = {
 type t
 
 val create : ?enabled:bool -> ?capacity:int -> unit -> t
-(** [create ()] is an empty trace.  With [~enabled:false], {!add} is a
-    no-op — sweeps use disabled traces to stay allocation-light.
+(** [create ()] is an empty trace.  With [~enabled:false], every write
+    is a no-op — sweeps use disabled traces to stay allocation-light.
     [capacity] bounds retention (default 65536 entries).
     @raise Invalid_argument if [capacity < 1]. *)
 
@@ -32,7 +41,40 @@ val dropped : t -> int
 (** Entries overwritten by the ring so far; [0] until the trace
     outgrows its capacity. *)
 
+(** {1 Templates and interning} *)
+
+type template
+(** A registered record format: renders a record's five int arguments
+    into text at query time. *)
+
+type renderer =
+  Buffer.t -> (int -> string) -> int -> int -> int -> int -> int -> unit
+(** [render buf lookup a0 a1 a2 a3 a4] appends the rendered text to
+    [buf].  [lookup] resolves ids from the owning trace's intern table
+    (for arguments that are interned strings).  A renderer must be pure
+    and must reproduce, byte for byte, the format it replaced. *)
+
+val register_template : renderer -> template
+(** Register a record format.  The registry is global and append-only;
+    call it only from module initialisation (before any worker domain
+    spawns) — never per trace or per run. *)
+
+type topic
+(** An interned topic id, valid only for the trace that produced it. *)
+
+val topic : t -> string -> topic
+(** Intern a topic.  Cache the result at component-creation time; on a
+    disabled trace this returns a dummy. *)
+
+val intern : t -> string -> int
+(** Intern an arbitrary string (state names, reasons) for use as a
+    template argument; stable for the lifetime of the trace.  Returns a
+    dummy on a disabled trace. *)
+
+(** {1 Writing} *)
+
 val add : t -> at:Vtime.t -> topic:string -> string -> unit
+(** Legacy eager append: stores the already-rendered [text]. *)
 
 val addf :
   t ->
@@ -43,11 +85,61 @@ val addf :
 (** Formatted {!add}.  The format arguments are not evaluated when the
     trace is disabled. *)
 
+val log0 : t -> at:Vtime.t -> topic:topic -> template -> unit
+
+val log1 : t -> at:Vtime.t -> topic:topic -> template -> int -> unit
+
+val log2 : t -> at:Vtime.t -> topic:topic -> template -> int -> int -> unit
+
+val log3 :
+  t -> at:Vtime.t -> topic:topic -> template -> int -> int -> int -> unit
+
+val log4 :
+  t ->
+  at:Vtime.t ->
+  topic:topic ->
+  template ->
+  int ->
+  int ->
+  int ->
+  int ->
+  unit
+
+val log5 :
+  t ->
+  at:Vtime.t ->
+  topic:topic ->
+  template ->
+  int ->
+  int ->
+  int ->
+  int ->
+  int ->
+  unit
+(** Typed binary append: a few int stores, no rendering.  Callers
+    should test {!enabled} once (a cached flag) and compute arguments
+    inside that guard so a disabled trace costs nothing. *)
+
+val log_text : t -> at:Vtime.t -> topic:topic -> string -> unit
+(** Append a text-only record through the built-in text template (the
+    string is interned, so repeated messages are stored as one int). *)
+
+(** {1 Reading (lazy rendering)} *)
+
 val entries : t -> entry list
 (** Retained entries, in append (chronological) order. *)
 
 val iter : (entry -> unit) -> t -> unit
-(** Oldest retained entry first; allocates nothing. *)
+(** Oldest retained entry first.  Renders each entry's text on the
+    fly. *)
+
+val iter_topic : topic:string -> (entry -> unit) -> t -> unit
+(** Like {!iter} restricted to one topic; matches on interned topic ids
+    so non-matching records are skipped without rendering. *)
+
+val iter_matching : pattern:string -> (entry -> unit) -> t -> unit
+(** Like {!iter} restricted to entries whose text contains [pattern];
+    no intermediate list. *)
 
 val length : t -> int
 (** Total entries ever appended (retained + dropped). *)

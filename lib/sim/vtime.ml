@@ -33,6 +33,10 @@ let pp fmt t =
   if t = infinity then Format.pp_print_string fmt "inf"
   else Format.fprintf fmt "%d" t
 
+let buf b t =
+  if t = infinity then Buffer.add_string b "inf"
+  else Buffer.add_string b (string_of_int t)
+
 let pp_in_t ~unit_t fmt t =
   if t = infinity then Format.pp_print_string fmt "infT"
   else Format.fprintf fmt "%.2fT" (float_of_int t /. float_of_int unit_t)

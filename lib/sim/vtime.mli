@@ -39,6 +39,9 @@ val to_int : t -> int
 val pp : Format.formatter -> t -> unit
 (** Prints ticks, with [inf] for {!infinity}. *)
 
+val buf : Buffer.t -> t -> unit
+(** Byte-identical to {!pp}, for trace-template renderers. *)
+
 val pp_in_t : unit_t:t -> Format.formatter -> t -> unit
 (** [pp_in_t ~unit_t fmt t] prints [t] as a multiple of the propagation
     bound, e.g. ["2.50T"]. *)
