@@ -10,6 +10,7 @@
      diagram  ASCII message-sequence diagram of one scenario
      lemma3   exhaustive Lemma 3 augmentation search
      list     available protocols and subcommands
+     metrics  render a telemetry snapshot stream (cluster --metrics) as a table
      run      one scenario, full trace
      spans    one scenario, exported as span/flow JSON (Perfetto-loadable)
      sweep    a protocol over the default scenario grid (--jobs N domains)
@@ -776,9 +777,37 @@ let cluster_cmd =
             "With $(b,--seeds): sweep all three placement policies instead \
              of just $(b,--policy).")
   in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Stream windowed telemetry snapshots to $(docv) as JSONL: one \
+             record per $(b,--metrics-every) window plus a final horizon \
+             cut. The stream is byte-identical across invocations and \
+             $(b,--jobs) values, and the windows merge exactly to the \
+             end-of-run metrics. Render with $(b,tp_sim metrics) $(docv).")
+  in
+  let metrics_every_arg =
+    Arg.(
+      value & opt span (`T 50)
+      & info [ "metrics-every" ] ~docv:"SPAN"
+          ~doc:"Snapshot window width (e.g. 50T, or plain ticks).")
+  in
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attribute host wall-time to subsystem buckets (engine, \
+             network, protocol, lock-manager, auditor) and print the \
+             breakdown to stderr. Wall-clock readings are inherently \
+             nondeterministic, so they never touch stdout or any JSON.")
+  in
   let run protocol n t g2 cuts heals seed delay pessimistic duration drain load
       window queue_limit policy pause crashes json quiet seeds all_policies
-      grid_size jobs spans =
+      grid_size jobs spans metrics_out metrics_every profile =
     let t_unit = Vtime.of_int t in
     let resolve = function
       | `T v -> Vtime.of_int (v * t)
@@ -836,6 +865,11 @@ let cluster_cmd =
           List.map
             (fun (s, at) -> (Site_id.of_int s, Vtime.of_int at))
             crashes;
+        snapshot_every =
+          (match metrics_out with
+          | Some _ -> Some (resolve metrics_every)
+          | None -> None);
+        profile;
       }
     in
     (* --grid large turns the cluster run into a sweep even without
@@ -865,6 +899,24 @@ let cluster_cmd =
             Format.printf "%a" Cluster.Runtime.pp_timeline report
         end;
         Option.iter (write_span_files obs) spans;
+        (match metrics_out with
+        | None -> ()
+        | Some file ->
+            let buffer = Buffer.create 4096 in
+            List.iter
+              (fun snap ->
+                Buffer.add_string buffer
+                  (Export.to_string
+                     (Cluster.Metrics.snapshot_to_json
+                        report.Cluster.Runtime.metrics snap));
+                Buffer.add_char buffer '\n')
+              report.Cluster.Runtime.snapshots;
+            write_file file (Buffer.contents buffer));
+        (* stderr: wall-clock attribution must never contaminate the
+           deterministic stdout/JSON surface. *)
+        (match report.Cluster.Runtime.profile with
+        | Some p -> Format.eprintf "%a@?" Prof.pp p
+        | None -> ());
         warn_dropped report.Cluster.Runtime.trace_dropped;
         if Cluster.Runtime.atomic report && report.Cluster.Runtime.blocked = 0
         then 0
@@ -874,6 +926,12 @@ let cluster_cmd =
           Format.eprintf
             "--spans records one runtime; drop --seeds (or pick one seed \
              with --seed) to export spans@.";
+          exit 2
+        end;
+        if profile then begin
+          Format.eprintf
+            "--profile times one runtime on the host clock; drop --seeds \
+             (or pick one seed with --seed) to profile@.";
           exit 2
         end;
         let jobs = resolve_jobs ~subcommand:"cluster" jobs in
@@ -902,6 +960,16 @@ let cluster_cmd =
             Format.eprintf "invalid cluster sweep: %s@." msg;
             exit 2
         in
+        (match metrics_out with
+        | None -> ()
+        | Some file ->
+            let buffer = Buffer.create 4096 in
+            List.iter
+              (fun line ->
+                Buffer.add_string buffer line;
+                Buffer.add_char buffer '\n')
+              summary.Cluster.Cluster_sweep.snapshot_lines;
+            write_file file (Buffer.contents buffer));
         if json then
           Format.printf "%a@." Export.pp
             (Cluster.Cluster_sweep.to_json summary)
@@ -915,7 +983,118 @@ let cluster_cmd =
       $ cluster_heal_arg $ seed_arg $ delay_arg $ pessimistic_arg
       $ duration_arg $ drain_arg $ load_arg $ window_arg $ queue_limit_arg
       $ policy_arg $ pause_arg $ crash_arg $ json_arg $ quiet_arg $ seeds_arg
-      $ all_policies_arg $ grid_arg $ jobs_arg $ spans_arg)
+      $ all_policies_arg $ grid_arg $ jobs_arg $ spans_arg $ metrics_arg
+      $ metrics_every_arg $ profile_arg)
+
+let metrics_cmd =
+  let doc =
+    "Render a telemetry snapshot stream (the JSONL written by $(b,tp_sim \
+     cluster --metrics)) as a per-window timeline table."
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Snapshot stream (JSONL), one record per line.")
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let lines = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then lines := line :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let records =
+      List.mapi
+        (fun i line ->
+          match Export.of_string line with
+          | Ok json -> json
+          | Error msg ->
+              Format.eprintf "%s:%d: %s@." file (i + 1) msg;
+              exit 2)
+        (List.rev !lines)
+    in
+    if records = [] then begin
+      Format.eprintf "%s: empty snapshot stream@." file;
+      exit 2
+    end;
+    let int_field json key =
+      match Export.member key json with
+      | Some (Export.Int i) -> Some i
+      | _ -> None
+    in
+    let nested json outer key =
+      Option.bind (Export.member outer json) (Export.member key)
+    in
+    let sub_int json outer key =
+      match nested json outer key with Some (Export.Int i) -> i | _ -> 0
+    in
+    let header () =
+      Format.printf "  %-17s %5s %5s %5s %5s %5s  %5s %5s %5s %5s %5s  %s@."
+        "window(T)" "off" "cmt" "abt" "trm" "rej" "infl" "queue" "blkd"
+        "sites" "parts" "commit p50/p99(T)"
+    in
+    let last_run = ref (Some "\000") in
+    List.iter
+      (fun json ->
+        let run_label =
+          match Export.member "run" json with
+          | Some (Export.String s) -> Some s
+          | _ -> None
+        in
+        if run_label <> !last_run then begin
+          (match run_label with
+          | Some r -> Format.printf "run %s@." r
+          | None -> ());
+          last_run := run_label;
+          header ()
+        end;
+        let t_unit =
+          match int_field json "t_unit" with
+          | Some t when t > 0 -> t
+          | _ -> 1
+        in
+        let in_t ticks = float_of_int ticks /. float_of_int t_unit in
+        let since = Option.value (int_field json "since") ~default:0 in
+        let upto = Option.value (int_field json "upto") ~default:0 in
+        let final =
+          match Export.member "final" json with
+          | Some (Export.Bool b) -> b
+          | _ -> false
+        in
+        let window =
+          Format.asprintf "%g-%g%s" (in_t since) (in_t upto)
+            (if final then " fin" else "")
+        in
+        let latency =
+          match nested json "histograms" "latency.commit" with
+          | Some h -> (
+              match (Export.member "p50" h, Export.member "p99" h) with
+              | Some (Export.Int p50), Some (Export.Int p99) ->
+                  Format.asprintf "%.1f/%.1f" (in_t p50) (in_t p99)
+              | _ -> "-")
+          | _ -> "-"
+        in
+        Format.printf
+          "  %-17s %5d %5d %5d %5d %5d  %5d %5d %5d %5d %5d  %s@." window
+          (sub_int json "counters" "txn.offered")
+          (sub_int json "counters" "txn.committed")
+          (sub_int json "counters" "txn.aborted")
+          (sub_int json "counters" "txn.termination")
+          (sub_int json "counters" "txn.rejected")
+          (sub_int json "gauges" "gauge.in_flight")
+          (sub_int json "gauges" "gauge.queued")
+          (sub_int json "gauges" "gauge.blocked")
+          (sub_int json "gauges" "gauge.live_sites")
+          (sub_int json "gauges" "gauge.partition_components")
+          latency)
+      records;
+    0
+  in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ file_arg)
 
 let list_cmd =
   let doc = "List available protocols and subcommands." in
@@ -942,6 +1121,9 @@ let list_cmd =
         ("diagram", "ASCII message-sequence diagram of one scenario");
         ("lemma3", "exhaustive Lemma 3 augmentation search");
         ("list", "this listing");
+        ( "metrics",
+          "render a telemetry snapshot stream (cluster --metrics) as a table"
+        );
         ("run", "one scenario, full trace");
         ("spans", "one scenario as Perfetto-loadable span/flow JSON");
         ("sweep", "a protocol over the default scenario grid (--jobs N)");
@@ -968,6 +1150,7 @@ let () =
          diagram_cmd;
          lemma3_cmd;
          list_cmd;
+         metrics_cmd;
          run_cmd;
          spans_cmd;
          sweep_cmd;

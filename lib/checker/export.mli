@@ -20,6 +20,17 @@ val to_string : json -> string
 
 val pp : Format.formatter -> json -> unit
 
+val of_string : string -> (json, string) result
+(** Parses the dialect {!to_string} emits (plus insignificant
+    whitespace): [Ok] round-trips our own output exactly — integer
+    literals come back as [Int], fractional ones as [Float] — and
+    [Error] carries a message with the byte offset.  Used by the CLI to
+    re-read telemetry snapshot streams. *)
+
+val member : string -> json -> json option
+(** [member key json] is the value bound to [key] when [json] is an
+    object containing it. *)
+
 val of_verdict : Verdict.t -> json
 
 val of_summary : Sweep.summary -> json

@@ -65,6 +65,7 @@ type summary = {
   clean_runs : int;
   failures : string list;
   metrics : Metrics.t;
+  snapshot_lines : string list;
 }
 
 (* The summary of one run: the unit the merge folds over.  The run's
@@ -90,6 +91,16 @@ let of_report ~label (report : Runtime.report) =
     clean_runs = (if clean then 1 else 0);
     failures = (if clean then [] else [ Label.force label ]);
     metrics = report.metrics;
+    snapshot_lines =
+      (match report.snapshots with
+      | [] -> []
+      | snaps ->
+          let run = Label.force label in
+          List.map
+            (fun snap ->
+              Export.to_string
+                (Metrics.snapshot_to_json ~run report.metrics snap))
+            snaps);
   }
 
 (* First [keep] of [a @ b] in O(keep) work — same shape as
@@ -131,6 +142,9 @@ let merge ~keep a b =
     clean_runs = a.clean_runs + b.clean_runs;
     failures = cap_append ~keep a.failures b.failures;
     metrics = a.metrics;
+    snapshot_lines =
+      (if b.snapshot_lines == [] then a.snapshot_lines
+       else a.snapshot_lines @ b.snapshot_lines);
   }
 
 let eval scratch (label, config) =

@@ -49,6 +49,12 @@ type summary = {
   metrics : Metrics.t;
       (** the exact merge of every run's pipeline — latencies, queue
           waits, decision-reason counters, bucketed throughput series *)
+  snapshot_lines : string list;
+      (** one rendered JSONL record per windowed telemetry cut, tagged
+          with the run's label via the ["run"] field, concatenated in
+          task order; empty unless [base.snapshot_every] is set.  The
+          merge is an ordered append, so the stream is byte-identical
+          for every [jobs]. *)
 }
 
 val run : ?keep:int -> ?jobs:int -> grid -> summary

@@ -21,6 +21,9 @@ type config = {
   amount : int;
   bucket : Vtime.t;
   trace_enabled : bool;
+  snapshot_every : Vtime.t option;
+      (* emit a windowed telemetry snapshot every this many ticks *)
+  profile : bool;  (* attribute host wall-time to subsystem buckets *)
 }
 
 let default_config ?(protocol = (module Termination.Transient : Site.S))
@@ -47,6 +50,8 @@ let default_config ?(protocol = (module Termination.Transient : Site.S))
     amount = 25;
     bucket = t 10;
     trace_enabled = false;
+    snapshot_every = None;
+    profile = false;
   }
 
 type report = {
@@ -73,10 +78,16 @@ type report = {
   trace : Trace.t;
   trace_dropped : int;
       (* entries the bounded trace ring evicted; surfaced as a stderr
-         warning by the CLI, never serialized *)
+         warning by the CLI and in to_json's "runtime" section *)
   events_run : int;
-      (* engine events executed; consumed by the bench, never serialized
-         so to_json stays byte-identical across core revisions *)
+      (* engine events executed (deterministic); in to_json's "runtime"
+         section so snapshot streams can be cross-checked *)
+  snapshots : Metrics.snapshot list;
+      (* windowed telemetry, oldest first; empty unless
+         [config.snapshot_every] *)
+  profile : Prof.report option;
+      (* wall-clock subsystem attribution; inherently nondeterministic,
+         so never serialized in [to_json] *)
 }
 
 (* Protocol messages multiplexed by transaction id, as in Tm. *)
@@ -179,7 +190,16 @@ module Run (P : Site.S) = struct
     auditor : Auditor.t;
     dead : bool array;  (* crash-stopped sites, index = physical - 1 *)
     horizon : Vtime.t;
+    prof : Prof.t option;  (* Some only when [config.profile] *)
   }
+
+  (* Profiler brackets; no-ops (no closure, no allocation) when
+     profiling is off. *)
+  let prof_enter state b =
+    match state.prof with Some p -> Prof.enter p b | None -> ()
+
+  let prof_leave state =
+    match state.prof with Some p -> Prof.leave p | None -> ()
 
   let store state site = state.stores.(Site_id.to_int site - 1)
 
@@ -272,7 +292,9 @@ module Run (P : Site.S) = struct
       (match decision with
       | Types.Commit -> Durable_site.commit durable ~tid:rt.spec.tid ()
       | Types.Abort -> Durable_site.abort durable ~tid:rt.spec.tid);
+      prof_enter state Prof.Auditor;
       Auditor.record state.auditor ~tid:rt.spec.tid ~site decision;
+      prof_leave state;
       if (not rt.settled) && live_complete state rt then settle state rt
     end
 
@@ -287,8 +309,10 @@ module Run (P : Site.S) = struct
     end;
     Metrics.mark state.metrics ~at "admissions";
     Metrics.observe state.metrics "wait.queue" (Vtime.sub at spec.Tm.start_at);
+    prof_enter state Prof.Auditor;
     Auditor.begin_txn state.auditor ~tid:spec.Tm.tid
       ~contributions:(Workload.transfer_contributions spec);
+    prof_leave state;
     let rt =
       {
         spec;
@@ -398,6 +422,10 @@ module Run (P : Site.S) = struct
     if config.amount <= 0 || config.amount >= config.balance then
       invalid_arg "Runtime.run: need 0 < amount < balance";
     if config.n < 2 then invalid_arg "Runtime.run: need at least two sites";
+    (match config.snapshot_every with
+    | Some every when Vtime.to_int every <= 0 ->
+        invalid_arg "Runtime.run: snapshot_every must be positive"
+    | Some _ | None -> ());
     List.iter
       (fun (site, _) ->
         if Site_id.to_int site > config.n then
@@ -413,14 +441,17 @@ module Run (P : Site.S) = struct
           s.scratch_engine
       | None -> Engine.create ~trace:trace_store ()
     in
+    let prof = if config.profile then Some (Prof.create ()) else None in
     let net =
       Network.create ~engine ~n:config.n ~t_max:config.t_unit ~mode:config.mode
         ~partition:config.timeline ~delay:config.delay ~seed:config.seed
         ~pp_payload:pp_wire ~payload_codec:wire_codec ~obs
         ~obs_tid:(fun w -> w.wtid)
-        ()
+        ?prof ()
     in
     let metrics = Metrics.create ~bucket:config.bucket ~t_unit:config.t_unit () in
+    (* The snapshot cursor must exist before anything records. *)
+    let cursor = Option.map (fun _ -> Metrics.create_cursor metrics) config.snapshot_every in
     let horizon = Vtime.add config.duration config.drain in
     let state =
       {
@@ -443,8 +474,63 @@ module Run (P : Site.S) = struct
         auditor = Auditor.create ~n:config.n ();
         dead = Array.make config.n false;
         horizon;
+        prof;
       }
     in
+    (* Streaming telemetry: the span->histogram bridge drains closed
+       Obs spans into "span.<cat>.<name>" histograms (it only exists
+       when the recorder does, so trace-off runs pay nothing); gauges
+       are sampled at every cut and once at the horizon. *)
+    let bridge = if Obs.enabled obs then Some (Span_bridge.create obs) else None in
+    let flush_bridge () =
+      match bridge with Some b -> Span_bridge.flush b metrics | None -> ()
+    in
+    let sample_gauges ~at =
+      Metrics.set_gauge metrics "gauge.in_flight"
+        (Scheduler.in_flight state.scheduler);
+      Metrics.set_gauge metrics "gauge.queued" (Scheduler.queued state.scheduler);
+      (* Same bound as the q-watchdog: admitted 12T ago and still not
+         settled means the commit protocol is blocked or terminating. *)
+      let stall = Vtime.of_int (12 * Vtime.to_int config.t_unit) in
+      let blocked =
+        Hashtbl.fold
+          (fun _ rt n ->
+            if (not rt.settled) && Vtime.( < ) (Vtime.add rt.admitted_at stall) at
+            then n + 1
+            else n)
+          state.txns 0
+      in
+      Metrics.set_gauge metrics "gauge.blocked" blocked;
+      Metrics.set_gauge metrics "gauge.live_sites"
+        (Array.fold_left (fun n dead -> if dead then n else n + 1) 0 state.dead);
+      Metrics.set_gauge metrics "gauge.partition_components"
+        (Partition.components_at config.timeline ~at)
+    in
+    let snapshots = ref [] in
+    let cut ~at ~final =
+      match cursor with
+      | None -> ()
+      | Some c ->
+          sample_gauges ~at;
+          flush_bridge ();
+          snapshots := Metrics.snapshot metrics c ~at ~final :: !snapshots
+    in
+    (* Periodic cuts ride the engine at Background rank, so same-instant
+       deliveries and timers land inside the window they belong to; the
+       horizon cut is taken separately, after shutdown accounting. *)
+    (match config.snapshot_every with
+    | None -> ()
+    | Some every ->
+        let rec tick at =
+          ignore
+            (Engine.schedule_at engine ~rank:Engine.Background ~at
+               ~label:(Label.Static "metrics-cut")
+               (fun () ->
+                 cut ~at ~final:false;
+                 let next = Vtime.add at every in
+                 if Vtime.( < ) next horizon then tick next))
+        in
+        if Vtime.( < ) every horizon then tick every);
     (* Crash-stop timeline: silence the site on the wire, release the
        auditor and any in-flight transactions that are now complete over
        the survivors, and keep the site out of master rotation. *)
@@ -505,6 +591,7 @@ module Run (P : Site.S) = struct
               | Network.Undeliverable e -> Network.Undeliverable (relabel e)
             in
             let instance = rt.instances.(Site_id.to_int phys - 1) in
+            prof_enter state Prof.Protocol;
             P.on_delivery instance unwrapped;
             (* Reaching the prepared state must survive a restart. *)
             (match P.state_name instance with
@@ -512,7 +599,8 @@ module Run (P : Site.S) = struct
                 let durable = store state phys in
                 if Durable_site.status durable ~tid:wtid = `Active then
                   Durable_site.prepare durable ~tid:wtid
-            | _ -> ()));
+            | _ -> ());
+            prof_leave state);
     (* The open-loop arrival process: [load] transfers per 100T, evenly
        spaced, sites drawn from a seed-derived stream. *)
     let wl_rng = Rng.create (Int64.logxor config.seed 0x9E3779B97F4A7C15L) in
@@ -567,6 +655,19 @@ module Run (P : Site.S) = struct
     Metrics.add metrics "txn.blocked" !blocked;
     let starved = Scheduler.queued state.scheduler in
     Metrics.add metrics "txn.starved" starved;
+    (* Final telemetry: drain the bridge and sample end-of-run gauges
+       whether or not snapshots are on (so --json always carries them),
+       then take the horizon cut after the shutdown accounting above so
+       the stream's sum equals the final metrics exactly. *)
+    sample_gauges ~at:horizon;
+    flush_bridge ();
+    (match cursor with
+    | None -> ()
+    | Some c ->
+        snapshots := Metrics.snapshot metrics c ~at:horizon ~final:true :: !snapshots);
+    (match prof with
+    | Some p -> Prof.note_entries p Prof.Engine (Engine.events_run engine)
+    | None -> ());
     let disk_total =
       Array.fold_left
         (fun acc durable ->
@@ -609,6 +710,8 @@ module Run (P : Site.S) = struct
       trace = trace_store;
       trace_dropped = Trace.dropped trace_store;
       events_run = Engine.events_run engine;
+      snapshots = List.rev !snapshots;
+      profile = Option.map Prof.report prof;
     }
 end
 
@@ -699,6 +802,15 @@ let to_json report =
             ("delivered", Export.Int report.net_stats.delivered);
             ("bounced", Export.Int report.net_stats.bounced);
             ("lost", Export.Int report.net_stats.lost);
+          ] );
+      (* Deterministic runtime bookkeeping, so snapshot streams can be
+         cross-checked against the run.  The wall-clock profile is
+         deliberately absent: it would break byte-identity. *)
+      ( "runtime",
+        Export.Obj
+          [
+            ("events_run", Export.Int report.events_run);
+            ("trace_dropped", Export.Int report.trace_dropped);
           ] );
       ("metrics", Metrics.to_json report.metrics);
     ]

@@ -49,6 +49,13 @@ type config = {
   amount : int;  (** amount moved by each transfer *)
   bucket : Vtime.t;  (** metrics time-series bucket width *)
   trace_enabled : bool;
+  snapshot_every : Vtime.t option;
+      (** emit a windowed telemetry {!Metrics.snapshot} every this many
+          ticks (plus a final cut at the horizon); [None] = off *)
+  profile : bool;
+      (** attribute host wall-time to subsystem buckets
+          (engine/network/protocol/lock-manager/auditor); the result is
+          nondeterministic and never serialised *)
 }
 
 val default_config : ?protocol:Site.packed -> ?n:int -> unit -> config
@@ -83,11 +90,20 @@ type report = {
   trace : Trace.t;
   trace_dropped : int;
       (** entries the bounded trace ring evicted during the run; the
-          CLI surfaces a non-zero count as a stderr warning.  Excluded
-          from {!to_json}. *)
+          CLI surfaces a non-zero count as a stderr warning, and it is
+          serialised in {!to_json}'s ["runtime"] section *)
   events_run : int;
-      (** engine events executed; bench-only, excluded from {!to_json}
-          so the JSON stays byte-identical across core revisions *)
+      (** engine events executed — deterministic, serialised in
+          {!to_json}'s ["runtime"] section so snapshot streams can be
+          cross-checked against the run *)
+  snapshots : Metrics.snapshot list;
+      (** windowed telemetry cuts, oldest first (one per
+          [snapshot_every] boundary plus the final horizon cut); empty
+          unless [config.snapshot_every] is set *)
+  profile : Prof.report option;
+      (** wall-clock subsystem attribution ([Some] iff
+          [config.profile]); inherently nondeterministic, so never part
+          of {!to_json} *)
 }
 
 type scratch

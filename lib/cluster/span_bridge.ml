@@ -1,0 +1,68 @@
+(* Span -> histogram bridge: stream closed [Obs] spans into per-name
+   [Metrics] histograms (phase / state / probe-round latency
+   distributions) without materialising a trace-event export.
+
+   The hot path is int-only: closed spans arrive from
+   [Obs.fold_closed_spans] as interned ids plus a duration (the packed
+   records carry the begin instant on the end record), and the window
+   accumulators live in an int-keyed table.  Metric-name strings are
+   built once per distinct (name, cat) pair, at flush time, then
+   memoised.  The bridge only exists when the recorder is enabled, so
+   trace-off runs allocate nothing. *)
+
+module Stats = Commit_checker.Stats
+
+type t = {
+  obs : Obs.t;
+  mutable cursor : int;  (* obs records consumed so far *)
+  accs : (int, Stats.Acc.acc ref) Hashtbl.t;  (* packed (name, cat) key *)
+  names : (int, string) Hashtbl.t;  (* packed key -> metric name memo *)
+}
+
+let create obs =
+  { obs; cursor = 0; accs = Hashtbl.create 32; names = Hashtbl.create 32 }
+
+(* Interned ids are small (one per distinct span name or category per
+   run), so 20 bits for the category leave ample room for the name. *)
+let key ~name ~cat = (name lsl 20) lor cat
+
+let poll t =
+  t.cursor <-
+    Obs.fold_closed_spans t.obs ~from:t.cursor (fun ~name ~cat ~dur ->
+        let k = key ~name ~cat in
+        let cell =
+          match Hashtbl.find_opt t.accs k with
+          | Some cell -> cell
+          | None ->
+              let cell = ref Stats.Acc.empty in
+              Hashtbl.add t.accs k cell;
+              cell
+        in
+        cell := Stats.Acc.add !cell dur)
+
+let metric_name t k =
+  match Hashtbl.find_opt t.names k with
+  | Some s -> s
+  | None ->
+      let s =
+        "span."
+        ^ Obs.name_string t.obs (k land 0xFFFFF)
+        ^ "."
+        ^ Obs.name_string t.obs (k lsr 20)
+      in
+      Hashtbl.add t.names k s;
+      s
+
+(* Drain newly closed spans and merge every window accumulator into
+   [metrics]; called at each snapshot cut and once at the end of the
+   run.  Table iteration order does not matter: each merge lands in its
+   own per-name histogram and [Metrics] serialises key-sorted. *)
+let flush t metrics =
+  poll t;
+  Hashtbl.iter
+    (fun k cell ->
+      if Stats.Acc.count !cell > 0 then begin
+        Metrics.merge_histogram metrics (metric_name t k) !cell;
+        cell := Stats.Acc.empty
+      end)
+    t.accs

@@ -102,6 +102,11 @@ let holders t ~key =
 let queued t ~key =
   match String_map.find_opt key t.table with None -> [] | Some e -> e.queue
 
+(* Total number of queued (waiting) lock requests across every key —
+   the "lock-wait queue depth" gauge sampled at telemetry cuts. *)
+let wait_depth t =
+  String_map.fold (fun _ e n -> n + List.length e.queue) t.table 0
+
 let waits_for_edges t =
   String_map.fold
     (fun _ e acc ->

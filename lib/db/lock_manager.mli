@@ -31,6 +31,10 @@ val holders : t -> key:string -> (int * mode) list
 
 val queued : t -> key:string -> (int * mode) list
 
+val wait_depth : t -> int
+(** Total queued (waiting) lock requests across every key — the
+    lock-wait-depth gauge sampled at telemetry cuts. *)
+
 val waits_for_edges : t -> (int * int) list
 (** [(waiter, holder)] pairs. *)
 

@@ -151,11 +151,32 @@ module Run (P : Site.S) = struct
     locks : Lock_manager.t array;
     txns : (int, txn_rt) Hashtbl.t;
     mutable deadlocks : int;
+    prof : Prof.t option;  (* wall-time bracket for lock work, or None *)
+    on_gauge : (string -> int -> unit) option;
+        (* telemetry gauge sink ("gauge.lock_waiters") — Tm sits below
+           the metrics pipeline, so gauges flow out via callback *)
   }
 
   let store state site = state.stores.(Site_id.to_int site - 1)
 
   let locks_at state site = state.locks.(Site_id.to_int site - 1)
+
+  let prof_enter state b =
+    match state.prof with Some p -> Prof.enter p b | None -> ()
+
+  let prof_leave state =
+    match state.prof with Some p -> Prof.leave p | None -> ()
+
+  (* Sample the cross-site lock-wait queue depth into the gauge sink;
+     called whenever the wait graph may have changed shape. *)
+  let sample_lock_gauge state =
+    match state.on_gauge with
+    | None -> ()
+    | Some sink ->
+        sink "gauge.lock_waiters"
+          (Array.fold_left
+             (fun n lm -> n + Lock_manager.wait_depth lm)
+             0 state.locks)
 
   (* Call sites guard with [state.tracing]. *)
   let log1 state tmpl a0 =
@@ -209,7 +230,9 @@ module Run (P : Site.S) = struct
       | None -> []
     in
     let release_site site =
+      prof_enter state Prof.Locks;
       let grants = Lock_manager.release_all (locks_at state site) ~tid:rt.spec.tid in
+      prof_leave state;
       grants
     in
     let instances =
@@ -285,7 +308,8 @@ module Run (P : Site.S) = struct
               rt.pending_locks <- rt.pending_locks - 1;
               if rt.pending_locks = 0 then activate state rt
             end)
-      grants
+      grants;
+    sample_lock_gauge state
 
   let kill_victim state rt =
     rt.victim <- true;
@@ -296,17 +320,21 @@ module Run (P : Site.S) = struct
       obs_track_done state rt
     end;
     if state.tracing then log1 state tmpl_deadlock_victim rt.spec.tid;
+    prof_enter state Prof.Locks;
     let grants =
       List.concat_map
         (fun site -> Lock_manager.release_all (locks_at state site) ~tid:rt.spec.tid)
         (Site_id.all ~n:state.config.n)
     in
+    prof_leave state;
     on_grants state grants
 
   let check_deadlock state =
+    prof_enter state Prof.Locks;
     let edges =
       Array.to_list state.locks |> List.concat_map Lock_manager.waits_for_edges
     in
+    prof_leave state;
     if edges <> [] then begin
       (* A cycle in the union graph is a (possibly cross-site) deadlock;
          the youngest transaction (largest tid) dies. *)
@@ -359,12 +387,14 @@ module Run (P : Site.S) = struct
     if requests = [] then activate state rt
     else begin
       let waiting = ref 0 in
+      prof_enter state Prof.Locks;
       List.iter
         (fun (site, key, mode) ->
           match Lock_manager.acquire (locks_at state site) ~tid:rt.spec.tid ~key ~mode with
           | `Granted -> ()
           | `Waiting -> incr waiting)
         requests;
+      prof_leave state;
       rt.pending_locks <- !waiting;
       if !waiting = 0 then activate state rt
       else begin
@@ -372,6 +402,7 @@ module Run (P : Site.S) = struct
           Obs.span_begin state.obs ~at:(Engine.now state.engine) ~site:0
             ~tid:rt.spec.tid ~cat:"lifecycle" "lock-wait";
         if state.tracing then log2 state tmpl_lock_wait rt.spec.tid !waiting;
+        sample_lock_gauge state;
         (* Waits can only deadlock when a new waiter arrives. *)
         ignore
           (Engine.schedule state.engine ~delay:(Vtime.of_int 1)
@@ -379,7 +410,7 @@ module Run (P : Site.S) = struct
       end
     end
 
-  let run ~obs config specs =
+  let run ~obs ~prof ~on_gauge config specs =
     let tids = List.map (fun s -> s.tid) specs in
     let distinct = List.sort_uniq Int.compare tids in
     if List.length distinct <> List.length tids then
@@ -391,7 +422,7 @@ module Run (P : Site.S) = struct
         ~partition:config.partition ~delay:config.delay ~seed:config.seed
         ~pp_payload:pp_wire ~payload_codec:wire_codec ~obs
         ~obs_tid:(fun w -> w.wtid)
-        ()
+        ?prof ()
     in
     let state =
       {
@@ -417,6 +448,8 @@ module Run (P : Site.S) = struct
         locks = Array.init config.n (fun _ -> Lock_manager.create ());
         txns = Hashtbl.create 64;
         deadlocks = 0;
+        prof;
+        on_gauge;
       }
     in
     Network.set_handler net (fun site delivery ->
@@ -531,10 +564,10 @@ module Run (P : Site.S) = struct
     }
 end
 
-let run ?(obs = Obs.disabled) config specs =
+let run ?(obs = Obs.disabled) ?prof ?on_gauge config specs =
   let (module P : Site.S) = config.protocol in
   let module R = Run (P) in
-  R.run ~obs config specs
+  R.run ~obs ~prof ~on_gauge config specs
 
 let balance_total report ~prefix =
   Array.fold_left

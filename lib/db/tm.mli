@@ -85,11 +85,24 @@ type report = {
           over the surviving sites *)
 }
 
-val run : ?obs:Obs.t -> config -> txn_spec list -> report
+val run :
+  ?obs:Obs.t ->
+  ?prof:Prof.t ->
+  ?on_gauge:(string -> int -> unit) ->
+  config ->
+  txn_spec list ->
+  report
 (** [obs] (default {!Obs.disabled}) records, besides the per-site
     protocol spans and message flows, a transaction-lifecycle timeline
     on track 0: a root txn span containing lock-wait and protocol
-    phases, sealed when the last site decides. *)
+    phases, sealed when the last site decides.
+
+    [prof] brackets lock-manager work (acquire / release / deadlock
+    checks) with the [Locks] profiler bucket and the network with
+    [Network].  [on_gauge] receives point-in-time samples — today
+    ["gauge.lock_waiters"], the cross-site lock-wait queue depth —
+    whenever the wait graph may have changed; Tm sits below the metrics
+    pipeline, so gauges flow out through this callback. *)
 
 val balance_total : report -> prefix:string -> int
 (** Sum of the integer values of all keys starting with [prefix] across

@@ -136,6 +136,7 @@ type 'a t = {
   obs_on : bool;  (* cached Obs.enabled: keep the off path allocation-free *)
   obs_tid : 'a -> int;  (* payload -> transaction-id track for flow edges *)
   dead : bool array;  (* indexed by site id - 1 *)
+  prof : Prof.t option;  (* wall-time attribution bracket, or None *)
   mutable handler : (Site_id.t -> 'a delivery -> unit) option;
   mutable tap : ('a event -> unit) option;
   mutable sent : int;
@@ -146,7 +147,7 @@ type 'a t = {
 
 let create ~engine ~n ~t_max ?(mode = Optimistic) ?(partition = Partition.none)
     ?delay ?(seed = 1L) ?pp_payload ?payload_codec ?(obs = Obs.disabled)
-    ?obs_tid () =
+    ?obs_tid ?prof () =
   if n < 2 then invalid_arg "Network.create: need at least two sites";
   if Vtime.( < ) t_max (Vtime.of_int 1) then
     invalid_arg "Network.create: t_max must be at least one tick";
@@ -179,6 +180,7 @@ let create ~engine ~n ~t_max ?(mode = Optimistic) ?(partition = Partition.none)
     obs_on = Obs.enabled obs;
     obs_tid = (match obs_tid with Some f -> f | None -> fun _ -> 0);
     dead = Array.make n false;
+    prof;
     handler = None;
     tap = None;
     sent = 0;
@@ -234,6 +236,15 @@ let dispatch t site delivery =
   | None -> failwith "Network: message arrived before set_handler"
   | Some handler -> handler site delivery
 
+(* Profiler brackets around the network entry points ([send] and the
+   scheduled hop/bounce callbacks); nested buckets (the protocol work
+   behind [dispatch]) suspend this one, so only network self-time is
+   charged here.  No-ops when profiling is off. *)
+let prof_enter t =
+  match t.prof with Some p -> Prof.enter p Prof.Network | None -> ()
+
+let prof_leave t = match t.prof with Some p -> Prof.leave p | None -> ()
+
 (* [tap_emit t (fun at -> ...)] allocated the thunk closure even with
    no tap installed; the matches below only build the event when a tap
    is listening. *)
@@ -274,7 +285,8 @@ let deliver t envelope flow =
   end
 
 let bounce t envelope flow =
-  if is_dead t envelope.src then begin
+  prof_enter t;
+  (if is_dead t envelope.src then begin
     t.lost <- t.lost + 1;
     (if t.tracing then
        match t.enc with
@@ -308,15 +320,17 @@ let bounce t envelope flow =
     | None -> ()
     | Some tap -> tap (Bounced { env = envelope; at = Engine.now t.engine }));
     dispatch t envelope.src (Undeliverable envelope)
-  end
+  end);
+  prof_leave t
 
 (* A message reaches the boundary-or-destination after one hop (<= T).  If
    the partition separates the endpoints at that instant the message
    cannot cross: optimistic mode schedules the return hop (<= T, hence
    the paper's 2T round-trip envelope), pessimistic mode drops it. *)
 let arrival t envelope flow =
+  prof_enter t;
   let now = Engine.now t.engine in
-  if Partition.separated t.partition ~at:now envelope.src envelope.dst then
+  (if Partition.separated t.partition ~at:now envelope.src envelope.dst then
     match t.mode with
     | Pessimistic -> (
         t.lost <- t.lost + 1;
@@ -347,13 +361,15 @@ let arrival t envelope flow =
         ignore
           (Engine.schedule t.engine ~rank:Engine.Delivery ~delay:back
              ~label:(Label.Static "net-bounce") cb)
-  else deliver t envelope flow
+  else deliver t envelope flow);
+  prof_leave t
 
 let send t ~src ~dst payload =
   if Site_id.equal src dst then
     invalid_arg "Network.send: a site does not message itself";
+  prof_enter t;
   let envelope = { src; dst; payload; sent_at = Engine.now t.engine } in
-  if is_dead t src then begin
+  (if is_dead t src then begin
     (* A dead site emits nothing: its pending timers may still "fire" in
        the simulation, but the resulting sends evaporate here. *)
     t.lost <- t.lost + 1;
@@ -404,7 +420,8 @@ let send t ~src ~dst payload =
   ignore
     (Engine.schedule t.engine ~rank:Engine.Delivery ~delay:d
        ~label:(Label.Static "net-hop") cb)
-  end
+  end);
+  prof_leave t
 
 let broadcast t ~src payload =
   List.iter

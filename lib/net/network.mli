@@ -72,10 +72,16 @@ val create :
   ?payload_codec:int * ('a -> int) ->
   ?obs:Obs.t ->
   ?obs_tid:('a -> int) ->
+  ?prof:Prof.t ->
   unit ->
   'a t
 (** Defaults: [mode = Optimistic], [partition = Partition.none],
     [delay = Delay.uniform ~t_max], [seed = 1L], [obs = Obs.disabled].
+
+    [prof], when given, brackets every network entry point ([send] and
+    the scheduled hop/bounce callbacks) with the [Network] profiler
+    bucket; protocol work reached through the delivery handler nests
+    its own bucket inside, so only network self-time is charged.
 
     [payload_codec] is [(renderer_id, encode)] where [renderer_id] came
     from {!register_payload_renderer} and [encode] packs a payload into

@@ -104,6 +104,13 @@ let active_phase t at = List.find_opt (fun phase -> phase_active phase at) t
 
 let active_at t at = active_phase t at <> None
 
+(* How many connected components the network has at [at]: 1 while no
+   phase is active (fully connected), else that phase's cell count. *)
+let components_at t ~at =
+  match active_phase t at with
+  | None -> 1
+  | Some phase -> List.length phase.cells
+
 let cell_index cells site =
   let rec go i = function
     | [] -> -1

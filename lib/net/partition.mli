@@ -87,6 +87,11 @@ val is_transient : t -> bool
 val active_at : t -> Vtime.t -> bool
 (** Is the boundary up at this instant? *)
 
+val components_at : t -> at:Vtime.t -> int
+(** Number of connected components of the network at [at]: 1 while no
+    phase is active, else the active phase's cell count.  The
+    partition-component gauge sampled at telemetry cuts. *)
+
 val separated : t -> at:Vtime.t -> Site_id.t -> Site_id.t -> bool
 (** [separated p ~at a b]: are [a] and [b] in different cells of an
     active partition at time [at]? *)

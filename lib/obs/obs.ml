@@ -63,9 +63,12 @@ type t = {
   ids : (string, int) Hashtbl.t;
   mutable strs : string array;
   mutable n_strs : int;
-  open_spans : (int, (int * int) list) Hashtbl.t;
-      (* packed (site, tid) -> stack of (name word, cat id), innermost
-         first *)
+  open_spans : (int, (int * int * int) list) Hashtbl.t;
+      (* packed (site, tid) -> stack of (name word, cat id, begin
+         ticks), innermost first.  The begin instant rides along so a
+         span-end record can carry it in its otherwise-unused name-code
+         word: consumers then read durations straight off end records,
+         with no pairing state (see [fold_closed_spans]). *)
   (* flow id -> (name word, name code, cat id); ids are a plain counter
      from 1, so parallel arrays replace the old meta hashtable *)
   mutable flow_name : int array;
@@ -168,7 +171,7 @@ let span_begin t ~at ~site ~tid ?(cat = "phase") name =
     let stack =
       match Hashtbl.find_opt t.open_spans k with Some s -> s | None -> []
     in
-    Hashtbl.replace t.open_spans k ((name, cat) :: stack)
+    Hashtbl.replace t.open_spans k ((name, cat, Vtime.to_int at) :: stack)
   end
 
 let span_end t ~at ~site ~tid =
@@ -176,9 +179,13 @@ let span_end t ~at ~site ~tid =
     let k = key ~site ~tid in
     match Hashtbl.find_opt t.open_spans k with
     | None | Some [] -> ()  (* unbalanced end: drop rather than corrupt *)
-    | Some ((name, cat) :: rest) ->
+    | Some ((name, cat, began) :: rest) ->
         Hashtbl.replace t.open_spans k rest;
-        push t ~at ~kind:1 ~site ~tid ~name ~code:0 ~cat ~flow:0
+        (* Span names are always interned (name >= 0), so the name-code
+           word is free: stash the begin instant there.  Rendering
+           ignores the code for interned names, so exports are
+           unchanged. *)
+        push t ~at ~kind:1 ~site ~tid ~name ~code:began ~cat ~flow:0
 
 let open_depth t ~site ~tid =
   match Hashtbl.find_opt t.open_spans (key ~site ~tid) with
@@ -206,6 +213,26 @@ let close_open_spans t ~at =
         drain ())
       keys
   end
+
+(* ---- incremental span consumption -------------------------------------- *)
+
+(* Hand every span end recorded in [from, num_events) to [f] as packed
+   ids plus its duration (an end record carries its begin instant in
+   the name-code word, so no pairing state is needed) and return the
+   new cursor.  No rendering happens here: consumers memoise
+   [name_string] per distinct id, not per event. *)
+let fold_closed_spans t ~from f =
+  let w = t.words in
+  for i = from to t.len - 1 do
+    let base = i * stride in
+    if Array.unsafe_get w (base + 1) = 1 then
+      f ~name:w.(base + 4) ~cat:w.(base + 6) ~dur:(w.(base) - w.(base + 5))
+  done;
+  t.len
+
+(* Interned-string lookup for consumers of the packed ids above (span
+   names and categories are always interned). *)
+let name_string t id = t.strs.(id)
 
 let instant t ~at ~site ~tid ?(cat = "mark") name =
   if t.enabled then

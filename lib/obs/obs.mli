@@ -101,6 +101,19 @@ val flow_end : t -> at:Vtime.t -> site:int -> tid:int -> int -> unit
 val iter : t -> (event -> unit) -> unit
 (** All recorded events, in record (= engine) order. *)
 
+val fold_closed_spans :
+  t -> from:int -> (name:int -> cat:int -> dur:int -> unit) -> int
+(** Hands every span end recorded in [\[from, num_events)] to the
+    callback as interned ids plus the span's duration in ticks (an end
+    record carries its begin instant, so no pairing state is needed),
+    and returns the new cursor.  No strings are rendered — resolve ids
+    with {!name_string}, memoised per id.  The incremental feed behind
+    the span->histogram bridge. *)
+
+val name_string : t -> int -> string
+(** The interned string behind a [name]/[cat] id from
+    {!fold_closed_spans}. *)
+
 val to_trace_event_json : t -> string
 (** Chrome [trace_event] JSON, loadable in Perfetto /
     [chrome://tracing]: pid = site, tid = transaction id, virtual ticks

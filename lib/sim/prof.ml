@@ -1,0 +1,104 @@
+(* Flat wall-clock profiler: attributes host time and entry counts to a
+   fixed set of subsystem buckets.  Instrumented code brackets each
+   subsystem entry with {!enter}/{!leave}; whatever runs outside any
+   bracket is charged to [Engine] (the event loop, heap maintenance and
+   scheduling glue).  Entering a bucket suspends the one currently
+   charged, so every wall-clock moment lands in exactly one bucket — a
+   flat self-time profile, not a call tree.
+
+   Wall-clock readings are inherently nondeterministic, so a profile
+   must never reach a byte-compared artifact: it lives in the report
+   record, the human-readable output and the bench JSON — never in a
+   serialised report or the snapshot stream. *)
+
+type bucket = Engine | Network | Protocol | Locks | Auditor
+
+let n_buckets = 5
+
+let index = function
+  | Engine -> 0
+  | Network -> 1
+  | Protocol -> 2
+  | Locks -> 3
+  | Auditor -> 4
+
+let bucket_names =
+  [| "engine"; "network"; "protocol"; "lock-manager"; "auditor" |]
+
+type t = {
+  seconds : float array;
+  entries : int array;
+  mutable stack : int array;  (* suspended bucket indices *)
+  mutable sp : int;
+  mutable cur : int;  (* bucket currently accruing time *)
+  mutable mark : float;  (* when [cur] started accruing *)
+}
+
+let create () =
+  {
+    seconds = Array.make n_buckets 0.;
+    entries = Array.make n_buckets 0;
+    stack = Array.make 16 0;
+    sp = 0;
+    cur = index Engine;
+    mark = Unix.gettimeofday ();
+  }
+
+let charge t now =
+  t.seconds.(t.cur) <- t.seconds.(t.cur) +. (now -. t.mark);
+  t.mark <- now
+
+let enter t bucket =
+  let i = index bucket in
+  charge t (Unix.gettimeofday ());
+  if t.sp = Array.length t.stack then begin
+    let grown = Array.make (2 * t.sp) 0 in
+    Array.blit t.stack 0 grown 0 t.sp;
+    t.stack <- grown
+  end;
+  t.stack.(t.sp) <- t.cur;
+  t.sp <- t.sp + 1;
+  t.cur <- i;
+  t.entries.(i) <- t.entries.(i) + 1
+
+let leave t =
+  if t.sp = 0 then invalid_arg "Prof.leave: nothing entered";
+  charge t (Unix.gettimeofday ());
+  t.sp <- t.sp - 1;
+  t.cur <- t.stack.(t.sp)
+
+(* Replace a bucket's entry count with a better-sourced number (the
+   engine bucket is residual time, so its entries come from
+   [Engine.events_run] rather than from [enter] calls). *)
+let note_entries t bucket n = t.entries.(index bucket) <- n
+
+type row = { row_bucket : string; row_seconds : float; row_entries : int }
+
+type report = { rows : row list; total_seconds : float }
+
+let report t =
+  charge t (Unix.gettimeofday ());
+  {
+    rows =
+      List.init n_buckets (fun i ->
+          {
+            row_bucket = bucket_names.(i);
+            row_seconds = t.seconds.(i);
+            row_entries = t.entries.(i);
+          });
+    total_seconds = Array.fold_left ( +. ) 0. t.seconds;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "profile (wall clock, flat): total %.1f ms@."
+    (r.total_seconds *. 1000.);
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "  %-12s %9.2f ms %5.1f%% %9d entries@."
+        row.row_bucket
+        (row.row_seconds *. 1000.)
+        (if r.total_seconds > 0. then
+           100. *. row.row_seconds /. r.total_seconds
+         else 0.)
+        row.row_entries)
+    r.rows
