@@ -1229,6 +1229,7 @@ let parallel_sweeps ~smoke () =
           timelines = [ ("none", Partition.none); ("cut-80T", cut) ];
           policies = [ Cluster.Scheduler.Partition_aware ];
           protocols = [];
+          faults = [];
         }
     | `Large ->
         {
@@ -1242,6 +1243,7 @@ let parallel_sweeps ~smoke () =
               ("transient", (module Termination.Transient : Site.S));
               ("paxos", Paxos_commit.protocol);
             ];
+          faults = [];
         }
   in
   let cruns = List.length (Cluster.Cluster_sweep.tasks cgrid) in
@@ -1264,6 +1266,72 @@ let parallel_sweeps ~smoke () =
   output_string oc "\n";
   close_out oc;
   row "  wrote BENCH_sweep.json@."
+
+(* ------------------------------------------------------------------ *)
+(* Soak throughput: faults on vs. off (BENCH_soak.json)                *)
+(* ------------------------------------------------------------------ *)
+
+(* The price of the fault schedule: both legs derive from the same soak
+   seed, so (the workload seed being the first unconditional draw) they
+   run identical arrival processes — the throughput delta is purely the
+   cuts, crash-recover windows and delay jitter. *)
+let soak_bench ~smoke () =
+  let module Soak = Commit_cluster.Soak in
+  section
+    (Printf.sprintf "Soak throughput: faults on vs. off%s"
+       (if smoke then " (smoke mode)" else ""));
+  let epochs = if smoke then 3 else 8 in
+  let segment = Vtime.of_int (t (if smoke then 100 else 200)) in
+  let config =
+    { (Soak.default_config ()) with Soak.seed = 1987L; epochs; segment }
+  in
+  let leg faults =
+    let cfg = { config with Soak.faults } in
+    let summary, seconds = wall (fun () -> Soak.run cfg) in
+    let txns_per_s = float_of_int summary.Soak.settled /. seconds in
+    row "  faults %-3s %d epochs x %d ticks: settled=%d committed=%d \
+         conserved=%b  %.0f txns/s@."
+      (if faults then "on" else "off")
+      epochs (Vtime.to_int segment) summary.Soak.settled
+      summary.Soak.committed (Soak.conserved summary) txns_per_s;
+    (cfg, summary, seconds, txns_per_s)
+  in
+  let _, on_summary, on_s, on_tps = leg true in
+  let _, off_summary, off_s, off_tps = leg false in
+  let slowdown = if on_tps > 0. then off_tps /. on_tps else nan in
+  row "  fault-schedule slowdown: %.2fx (identical workload seeds)@." slowdown;
+  let leg_json (summary : Soak.summary) seconds tps =
+    Export.Obj
+      [
+        ("settled", Export.Int summary.Soak.settled);
+        ("committed", Export.Int summary.Soak.committed);
+        ("aborted", Export.Int summary.Soak.aborted);
+        ("torn", Export.Int summary.Soak.torn);
+        ("crashes", Export.Int summary.Soak.crashes);
+        ("recoveries", Export.Int summary.Soak.recoveries);
+        ("cut_phases", Export.Int summary.Soak.cut_phases);
+        ("conserved", Export.Bool (Soak.conserved summary));
+        ("seconds", Export.Float seconds);
+        ("txns_per_s", Export.Float tps);
+      ]
+  in
+  let bench_json =
+    Export.Obj
+      [
+        ("smoke", Export.Bool smoke);
+        ("seed", Export.String (Int64.to_string config.Soak.seed));
+        ("epochs", Export.Int epochs);
+        ("segment_ticks", Export.Int (Vtime.to_int segment));
+        ("faults_on", leg_json on_summary on_s on_tps);
+        ("faults_off", leg_json off_summary off_s off_tps);
+        ("slowdown", Export.Float slowdown);
+      ]
+  in
+  let oc = open_out "BENCH_soak.json" in
+  output_string oc (Export.to_string bench_json);
+  output_string oc "\n";
+  close_out oc;
+  row "  wrote BENCH_soak.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Engine throughput and GC cost per event (BENCH_engine.json)         *)
@@ -1757,6 +1825,7 @@ let () =
     obs_bench ~smoke ()
   else if has_flag "--paxos-only" then paxos_bench ~smoke ()
   else if has_flag "--sweep-only" then parallel_sweeps ~smoke ()
+  else if has_flag "--soak-only" then soak_bench ~smoke ()
   else begin
   fig1 ();
   fig2 ();
@@ -1781,6 +1850,7 @@ let () =
   scalability ();
   cluster_throughput ();
   parallel_sweeps ~smoke ();
+  soak_bench ~smoke ();
   engine_bench ~smoke ();
   obs_bench ~smoke ();
   microbenchmarks ()

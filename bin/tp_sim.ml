@@ -12,6 +12,8 @@
      list     available protocols and subcommands
      metrics  render a telemetry snapshot stream (cluster --metrics) as a table
      run      one scenario, full trace
+     soak     millions of ticks under a seed-derived randomized fault schedule
+              (epochs fan across --jobs domains; byte-identical per seed)
      spans    one scenario, exported as span/flow JSON (Perfetto-loadable)
      sweep    a protocol over the default scenario grid (--jobs N domains)
 
@@ -142,12 +144,94 @@ let resolve_jobs ~subcommand = function
         (Commit_par.Pool.default_jobs ());
       exit 2
 
+(* Time spans accept "200T" (units of T) or plain ticks. *)
+let span =
+  let parse s =
+    let len = String.length s in
+    let bad () = Error (`Msg (Printf.sprintf "bad time span %S" s)) in
+    if len > 1 && (s.[len - 1] = 'T' || s.[len - 1] = 't') then
+      match int_of_string_opt (String.sub s 0 (len - 1)) with
+      | Some v -> Ok (`T v)
+      | None -> bad ()
+    else
+      match int_of_string_opt s with Some v -> Ok (`Ticks v) | None -> bad ()
+  in
+  let print fmt = function
+    | `T v -> Format.fprintf fmt "%dT" v
+    | `Ticks v -> Format.fprintf fmt "%d" v
+  in
+  Arg.conv (parse, print)
+
+(* SITE:DOWN is a crash-stop, SITE:DOWN..UP a crash-recover window.
+   Parsed leniently here; Fault.validate applies the real checks once
+   the horizon is known. *)
 let crash_arg =
+  let spec =
+    let parse s =
+      let bad () =
+        Error
+          (`Msg
+             (Printf.sprintf "bad crash spec %S (want SITE:DOWN or SITE:DOWN..UP)"
+                s))
+      in
+      match String.index_opt s ':' with
+      | None -> bad ()
+      | Some i -> (
+          let window = String.sub s (i + 1) (String.length s - i - 1) in
+          let wlen = String.length window in
+          let rec dots j =
+            if j + 1 >= wlen then None
+            else if window.[j] = '.' && window.[j + 1] = '.' then Some j
+            else dots (j + 1)
+          in
+          let down_s, up_s =
+            match dots 0 with
+            | None -> (window, None)
+            | Some j ->
+                ( String.sub window 0 j,
+                  Some (String.sub window (j + 2) (wlen - j - 2)) )
+          in
+          match
+            ( int_of_string_opt (String.sub s 0 i),
+              int_of_string_opt down_s,
+              Option.map int_of_string_opt up_s )
+          with
+          | Some site, Some down, None -> Ok (site, down, None)
+          | Some site, Some down, Some (Some up) -> Ok (site, down, Some up)
+          | _ -> bad ())
+    in
+    let print fmt (site, down, up) =
+      match up with
+      | None -> Format.fprintf fmt "%d:%d" site down
+      | Some up -> Format.fprintf fmt "%d:%d..%d" site down up
+    in
+    Arg.conv (parse, print)
+  in
   Arg.(
     value
-    & opt (list (pair ~sep:':' int int)) []
-    & info [ "crash" ] ~docv:"SITE:TICKS"
-        ~doc:"Crash sites at given instants (e.g. 1:2500,3:4000).")
+    & opt (list spec) []
+    & info [ "crash" ] ~docv:"SITE:DOWN[..UP]"
+        ~doc:
+          "Crash sites at given instants (e.g. 1:2500,3:4000). A \
+           $(b,SITE:DOWN..UP) window crashes the site and recovers it at \
+           $(b,UP): WAL replay, the paper's in-doubt rule, rejoin — \
+           cluster and soak only.")
+
+(* Crash-recover needs the cluster's durable stores and recovery rule;
+   the single-transaction runner only models crash-stop. *)
+let crash_stop_only ~subcommand specs =
+  List.map
+    (fun (site, down, up) ->
+      match up with
+      | None -> (Site_id.of_int site, Vtime.of_int down)
+      | Some up ->
+          Format.eprintf
+            "--crash %d:%d..%d: crash-recover windows are a cluster/soak \
+             feature; %s supports crash-stop SITE:DOWN only@."
+            site down up subcommand;
+          Format.eprintf "usage: tp_sim %s ... --crash SITE:DOWN@." subcommand;
+          exit 2)
+    specs
 
 let spans_arg =
   Arg.(
@@ -226,10 +310,7 @@ let run_cmd =
       {
         config with
         Runner.trace_enabled = not quiet;
-        crashes =
-          List.map
-            (fun (s, at) -> (Site_id.of_int s, Vtime.of_int at))
-            crashes;
+        crashes = crash_stop_only ~subcommand:"run" crashes;
       }
     in
     let obs = match spans with Some _ -> Obs.create () | None -> Obs.disabled in
@@ -281,10 +362,7 @@ let spans_cmd =
       {
         config with
         Runner.trace_enabled = false;
-        crashes =
-          List.map
-            (fun (s, at) -> (Site_id.of_int s, Vtime.of_int at))
-            crashes;
+        crashes = crash_stop_only ~subcommand:"spans" crashes;
       }
     in
     let obs = Obs.create () in
@@ -412,8 +490,7 @@ let diagram_cmd =
       {
         config with
         Runner.trace_enabled = false;
-        crashes =
-          List.map (fun (s, c) -> (Site_id.of_int s, Vtime.of_int c)) crashes;
+        crashes = crash_stop_only ~subcommand:"diagram" crashes;
       }
     in
     print_string (Diagram.run protocol config);
@@ -664,6 +741,15 @@ let lemma3_cmd =
   in
   Cmd.v (Cmd.info "lemma3" ~doc) Term.(const run $ const ())
 
+(* Unlike the single-scenario runner, cluster/soak default to the
+   paper's protocol instead of requiring --protocol. *)
+let cluster_protocol_arg =
+  Arg.(
+    value
+    & opt (enum protocols) (module Termination.Transient : Site.S)
+    & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+        ~doc:"Protocol to run (default: termination-transient).")
+
 let cluster_cmd =
   let module Cluster = Commit_cluster in
   let doc =
@@ -671,31 +757,6 @@ let cluster_cmd =
      With $(b,--seeds), fan one independent runtime per seed (x policies \
      with $(b,--all-policies)) across $(b,--jobs) domains and merge the \
      metrics exactly."
-  in
-  (* Time spans accept "200T" (units of T) or plain ticks. *)
-  let span =
-    let parse s =
-      let len = String.length s in
-      let bad () = Error (`Msg (Printf.sprintf "bad time span %S" s)) in
-      if len > 1 && (s.[len - 1] = 'T' || s.[len - 1] = 't') then
-        match int_of_string_opt (String.sub s 0 (len - 1)) with
-        | Some v -> Ok (`T v)
-        | None -> bad ()
-      else
-        match int_of_string_opt s with Some v -> Ok (`Ticks v) | None -> bad ()
-    in
-    let print fmt = function
-      | `T v -> Format.fprintf fmt "%dT" v
-      | `Ticks v -> Format.fprintf fmt "%d" v
-    in
-    Arg.conv (parse, print)
-  in
-  let cluster_protocol_arg =
-    Arg.(
-      value
-      & opt (enum protocols) (module Termination.Transient : Site.S)
-      & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
-          ~doc:"Protocol to run (default: termination-transient).")
   in
   let duration_arg =
     Arg.(
@@ -846,6 +907,25 @@ let cluster_cmd =
       | `Full -> Delay.full ~t_max:t_unit
       | `Uniform -> Delay.uniform ~t_max:t_unit
     in
+    (* Crash-recover windows are validated against the full run extent:
+       a recover instant past the horizon could never fire. *)
+    let fault_specs =
+      List.map
+        (fun (site, down, up) -> { Cluster.Fault.site; down; up })
+        crashes
+    in
+    let horizon =
+      Vtime.to_int (Vtime.add (resolve duration) (resolve drain))
+    in
+    (match Cluster.Fault.validate ~n ~horizon fault_specs with
+    | Ok () -> ()
+    | Error msg ->
+        Format.eprintf "invalid --crash schedule: %s@." msg;
+        Format.eprintf
+          "usage: tp_sim cluster ... --crash SITE:DOWN[..UP][,...]   \
+           (instants in ticks, before the horizon; UP > DOWN)@.";
+        exit 2);
+    let cl_crashes, cl_recoveries = Cluster.Fault.split fault_specs in
     let config =
       {
         (Cluster.Runtime.default_config ~protocol ~n ()) with
@@ -861,10 +941,8 @@ let cluster_cmd =
         queue_limit;
         policy;
         pause_during_cut = pause;
-        crashes =
-          List.map
-            (fun (s, at) -> (Site_id.of_int s, Vtime.of_int at))
-            crashes;
+        crashes = cl_crashes;
+        recoveries = cl_recoveries;
         snapshot_every =
           (match metrics_out with
           | Some _ -> Some (resolve metrics_every)
@@ -952,6 +1030,7 @@ let cluster_cmd =
                    [ Fixed_master; Round_robin; Partition_aware ]
                else [ policy ]);
             protocols = [];
+            faults = [];
           }
         in
         let summary =
@@ -985,6 +1064,128 @@ let cluster_cmd =
       $ policy_arg $ pause_arg $ crash_arg $ json_arg $ quiet_arg $ seeds_arg
       $ all_policies_arg $ grid_arg $ jobs_arg $ spans_arg $ metrics_arg
       $ metrics_every_arg $ profile_arg)
+
+let soak_cmd =
+  let module Cluster = Commit_cluster in
+  let doc =
+    "Soak the cluster: millions of ticks under a seed-derived randomized \
+     fault schedule (partition cut/heal, crash-recover windows, \
+     delay-model jitter). Deterministic: the summary and every output \
+     file are byte-identical per seed across invocations and \
+     $(b,--jobs) values."
+  in
+  let epochs_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "epochs" ] ~docv:"N"
+          ~doc:
+            "Independent epochs; each derives its workload seed and fault \
+             plan from ($(b,--seed), epoch) alone, so epochs fan across \
+             $(b,--jobs) domains and merge in index order.")
+  in
+  let segment_arg =
+    Arg.(
+      value & opt span (`T 200)
+      & info [ "segment" ] ~docv:"SPAN"
+          ~doc:"Arrival window per epoch (e.g. 200T; min 10T).")
+  in
+  let fault_free_arg =
+    Arg.(
+      value & flag
+      & info [ "fault-free" ]
+          ~doc:
+            "Disable fault injection. The fault plan is still drawn (and \
+             discarded), so the workload seeds match the faulted soak \
+             exactly — the bench's baseline leg.")
+  in
+  let load_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "load" ] ~docv:"TXNS" ~doc:"Offered transactions per 100T.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Stream windowed telemetry snapshots to $(docv) as JSONL, each \
+             record tagged with its epoch; byte-identical across \
+             invocations and $(b,--jobs). Render with $(b,tp_sim metrics) \
+             $(docv).")
+  in
+  let metrics_every_arg =
+    Arg.(
+      value & opt span (`T 50)
+      & info [ "metrics-every" ] ~docv:"SPAN"
+          ~doc:"Snapshot window width (e.g. 50T, or plain ticks).")
+  in
+  let run protocol n t seed delay pessimistic epochs segment load fault_free
+      json jobs metrics_out metrics_every =
+    let t_unit = Vtime.of_int t in
+    let resolve = function
+      | `T v -> Vtime.of_int (v * t)
+      | `Ticks v -> Vtime.of_int v
+    in
+    let delay =
+      match delay with
+      | `Minimal -> Delay.minimal
+      | `Full -> Delay.full ~t_max:t_unit
+      | `Uniform -> Delay.uniform ~t_max:t_unit
+    in
+    let base =
+      {
+        (Cluster.Runtime.default_config ~protocol ~n ()) with
+        Cluster.Runtime.t_unit;
+        mode = (if pessimistic then Network.Pessimistic else Network.Optimistic);
+        delay;
+        load;
+        snapshot_every =
+          (match metrics_out with
+          | Some _ -> Some (resolve metrics_every)
+          | None -> None);
+      }
+    in
+    let config =
+      {
+        Cluster.Soak.base;
+        seed;
+        epochs;
+        segment = resolve segment;
+        faults = not fault_free;
+      }
+    in
+    let jobs = resolve_jobs ~subcommand:"soak" jobs in
+    let summary =
+      try Cluster.Soak.run ~jobs config
+      with Invalid_argument msg ->
+        Format.eprintf "invalid soak config: %s@." msg;
+        exit 2
+    in
+    (match metrics_out with
+    | None -> ()
+    | Some file ->
+        let buffer = Buffer.create 4096 in
+        List.iter
+          (fun line ->
+            Buffer.add_string buffer line;
+            Buffer.add_char buffer '\n')
+          summary.Cluster.Soak.snapshot_lines;
+        write_file file (Buffer.contents buffer));
+    if json then
+      Format.printf "%a@." Export.pp (Cluster.Soak.to_json config summary)
+    else Format.printf "%a" Cluster.Soak.pp_summary (config, summary);
+    if Cluster.Soak.conserved summary then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "soak" ~doc)
+    Term.(
+      const run $ cluster_protocol_arg $ n_arg $ t_arg $ seed_arg $ delay_arg
+      $ pessimistic_arg $ epochs_arg $ segment_arg $ load_arg $ fault_free_arg
+      $ json_arg $ jobs_arg $ metrics_arg $ metrics_every_arg)
 
 let metrics_cmd =
   let doc =
@@ -1125,6 +1326,9 @@ let list_cmd =
           "render a telemetry snapshot stream (cluster --metrics) as a table"
         );
         ("run", "one scenario, full trace");
+        ( "soak",
+          "millions of ticks under a seed-derived fault schedule (--jobs \
+           fans epochs)" );
         ("spans", "one scenario as Perfetto-loadable span/flow JSON");
         ("sweep", "a protocol over the default scenario grid (--jobs N)");
       ];
@@ -1152,6 +1356,7 @@ let () =
          list_cmd;
          metrics_cmd;
          run_cmd;
+         soak_cmd;
          spans_cmd;
          sweep_cmd;
        ]))

@@ -105,6 +105,12 @@ let mark_dead t ~site =
       t.txns
   end
 
+let mark_recovered t ~site =
+  (* Settled transactions stay settled; open ones now require this
+     site's decision again before they are judged complete (the runtime
+     supplies it via the recovery rule). *)
+  t.dead <- Site_id.Set.remove site t.dead
+
 let open_txns t = t.open_count
 
 let settled t = t.settled_count

@@ -42,6 +42,13 @@ val mark_dead : t -> site:Site_id.t -> unit
     judged over the decisions actually made — a crash is a fault, not a
     violation. *)
 
+val mark_recovered : t -> site:Site_id.t -> unit
+(** Undo {!mark_dead} after the site replays its WAL and rejoins: open
+    transactions require its decision again before settling, while
+    transactions settled during the outage stay settled (a late
+    decision recorded for one of those is still checked for agreement
+    and counted toward conservation). *)
+
 val open_txns : t -> int
 (** Registered but not yet settled. *)
 

@@ -1,0 +1,43 @@
+type spec = { site : int; down : int; up : int option }
+
+let validate ~n ?horizon specs =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let past_horizon at =
+    match horizon with Some h -> at >= h | None -> false
+  in
+  let rec go seen = function
+    | [] -> Ok ()
+    | { site; down; up } :: rest -> (
+        if site < 1 || site > n then err "crash site %d out of range 1..%d" site n
+        else if List.mem site seen then
+          err "duplicate crash schedule for site %d" site
+        else if down < 0 then
+          err "crash instant %d for site %d is negative" down site
+        else if past_horizon down then
+          err "crash instant %d for site %d is past the horizon (%d ticks)"
+            down site
+            (Option.get horizon)
+        else
+          match up with
+          | Some up when up <= down ->
+              err "recover instant %d for site %d is not after its crash at %d"
+                up site down
+          | Some up when past_horizon up ->
+              err "recover instant %d for site %d is past the horizon (%d ticks)"
+                up site
+                (Option.get horizon)
+          | Some _ | None -> go (site :: seen) rest)
+  in
+  go [] specs
+
+let split specs =
+  let crashes =
+    List.map (fun s -> (Site_id.of_int s.site, Vtime.of_int s.down)) specs
+  in
+  let recoveries =
+    List.filter_map
+      (fun s ->
+        Option.map (fun up -> (Site_id.of_int s.site, Vtime.of_int up)) s.up)
+      specs
+  in
+  (crashes, recoveries)

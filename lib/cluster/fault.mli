@@ -1,0 +1,19 @@
+(** Crash-recover schedules as the CLI sees them, plus the validation
+    the CLI applies before handing them to {!Runtime}.
+
+    A spec is one [SITE:DOWN] (crash-stop) or [SITE:DOWN..UP]
+    (crash-recover) window, instants in ticks. *)
+
+type spec = { site : int; down : int; up : int option }
+
+val validate : n:int -> ?horizon:int -> spec list -> (unit, string) result
+(** First violation wins, in schedule order: site out of range 1..[n],
+    duplicate site, negative or past-[horizon] crash instant,
+    [up <= down], past-[horizon] recover instant.  [horizon] is the
+    run's full extent in ticks (duration + drain); omit it when the
+    horizon is not known at parse time. *)
+
+val split :
+  spec list -> (Site_id.t * Vtime.t) list * (Site_id.t * Vtime.t) list
+(** [(crashes, recoveries)] in the shape {!Runtime.config} wants; every
+    spec contributes a crash, only [..UP] specs a recovery. *)

@@ -17,6 +17,9 @@ type config = {
   policy : Scheduler.policy;
   pause_during_cut : bool;
   crashes : (Site_id.t * Vtime.t) list;
+  recoveries : (Site_id.t * Vtime.t) list;
+      (* each site must also appear in [crashes] at an earlier instant;
+         at the recovery instant the site replays its WAL and rejoins *)
   balance : int;
   amount : int;
   bucket : Vtime.t;
@@ -46,6 +49,7 @@ let default_config ?(protocol = (module Termination.Transient : Site.S))
     policy = Scheduler.Partition_aware;
     pause_during_cut = false;
     crashes = [];
+    recoveries = [];
     balance = 1000;
     amount = 25;
     bucket = t 10;
@@ -132,6 +136,26 @@ let tmpl_crashed =
       Buffer.add_string b (string_of_int site);
       Buffer.add_string b " CRASHED")
 
+let tmpl_recovered =
+  Trace.register_template (fun b _ site redone in_doubt aborted _ ->
+      Buffer.add_string b "site";
+      Buffer.add_string b (string_of_int site);
+      Buffer.add_string b " RECOVERED redo=";
+      Buffer.add_string b (string_of_int redone);
+      Buffer.add_string b " in-doubt=";
+      Buffer.add_string b (string_of_int in_doubt);
+      Buffer.add_string b " aborted=";
+      Buffer.add_string b (string_of_int aborted))
+
+let tmpl_adopted =
+  Trace.register_template (fun b _ tid site commit _ _ ->
+      Buffer.add_char b 't';
+      Buffer.add_string b (string_of_int tid);
+      Buffer.add_string b ": site";
+      Buffer.add_string b (string_of_int site);
+      Buffer.add_string b " in doubt; adopts ";
+      Buffer.add_string b (if commit = 1 then "commit" else "abort"))
+
 (* Per-domain reusable state for cluster sweeps: one engine whose heap
    array survives (reset, not reallocated) across runtimes.  The trace
    store is not part of the scratch — each run gets a fresh one so
@@ -170,6 +194,14 @@ module Run (P : Site.S) = struct
     admitted_at : Vtime.t;
     mutable instances : P.t array;
     decisions : Types.decision option array;
+    fenced : bool array;
+        (* a fenced site's protocol instance is a ghost: its volatile
+           state predates a crash (or the site was down when the
+           transaction was admitted), so it may neither send, receive,
+           nor decide — the recovery rule decides for it *)
+    awaiting : bool array;
+        (* recovered in-doubt sites waiting to adopt the group's first
+           decision *)
     mutable terminated : bool;
     mutable settled : bool;
   }
@@ -213,6 +245,14 @@ module Run (P : Site.S) = struct
   let log2 state tmpl a0 a1 =
     Trace.log2 state.trace_store ~at:(now state) ~topic:state.topic_cluster
       tmpl a0 a1
+
+  let log3 state tmpl a0 a1 a2 =
+    Trace.log3 state.trace_store ~at:(now state) ~topic:state.topic_cluster
+      tmpl a0 a1 a2
+
+  let log4 state tmpl a0 a1 a2 a3 =
+    Trace.log4 state.trace_store ~at:(now state) ~topic:state.topic_cluster
+      tmpl a0 a1 a2 a3
 
   (* Per-transaction master relabeling: the protocol stack hard-wires
      "site 1 masters", so a transaction coordinated by physical site m
@@ -280,23 +320,75 @@ module Run (P : Site.S) = struct
     Scheduler.complete state.scheduler;
     pump state
 
+  and apply_decision state rt phys_index decision ~durable =
+    rt.decisions.(phys_index) <- Some decision;
+    let site = Site_id.of_int (phys_index + 1) in
+    (if durable then
+       let d = store state site in
+       match decision with
+       | Types.Commit -> Durable_site.commit d ~tid:rt.spec.tid ()
+       | Types.Abort -> Durable_site.abort d ~tid:rt.spec.tid);
+    prof_enter state Prof.Auditor;
+    Auditor.record state.auditor ~tid:rt.spec.tid ~site decision;
+    prof_leave state;
+    (* Recovered in-doubt sites adopt the group's first decision;
+       all-or-nothing agreement makes "first" equal "the" group
+       decision. *)
+    Array.iteri
+      (fun j waiting ->
+        if waiting && rt.decisions.(j) = None && not state.dead.(j) then begin
+          rt.awaiting.(j) <- false;
+          adopt state rt j decision
+        end)
+      rt.awaiting;
+    if (not rt.settled) && live_complete state rt then settle state rt
+
+  and adopt state rt phys_index decision =
+    (* Group-decision adoption after a restart.  The durable work
+       depends on how far this site got before the crash: [`Prepared]
+       means the forced Stage record re-staged the updates and a plain
+       durable decision finishes the job.  [`Active] means the site
+       crashed between its vote and the forced prepare — yet the group
+       may have committed over the survivors, so a commit must re-stage
+       the spec's writes before it moves the money (an abort just logs).
+       [`Unknown] means the transaction was admitted during the outage;
+       a group commit still binds this site, so begin, stage and commit
+       durably, while an abort needs no WAL record at all.  Any other
+       status means the replay already wrote the local outcome and only
+       the auditor needs the decision. *)
+    let site = Site_id.of_int (phys_index + 1) in
+    let d = store state site in
+    let tid = rt.spec.Tm.tid in
+    let durable =
+      match (Durable_site.status d ~tid, decision) with
+      | `Prepared, _ | `Active, Types.Abort -> true
+      | (`Active | `Unknown), Types.Commit ->
+          let writes =
+            match List.assoc_opt site rt.spec.Tm.writes with
+            | Some updates -> updates
+            | None -> []
+          in
+          if Durable_site.status d ~tid = `Unknown then
+            Durable_site.begin_transaction d ~tid;
+          Durable_site.stage d ~tid writes;
+          true
+      | `Unknown, Types.Abort -> false
+      | (`Committed | `Aborted | `Ended), _ -> false
+    in
+    if state.tracing then
+      log3 state tmpl_adopted rt.spec.tid (phys_index + 1)
+        (match decision with Types.Commit -> 1 | Types.Abort -> 0);
+    apply_decision state rt phys_index decision ~durable
+
   and record_decision state rt phys_index decision =
     (* A crash-stopped site's local timers can still fire and "decide"
-       in its isolated ghost state; nothing it does after the crash may
-       reach the durable store or the auditor. *)
-    if (not state.dead.(phys_index)) && rt.decisions.(phys_index) = None
-    then begin
-      rt.decisions.(phys_index) <- Some decision;
-      let site = Site_id.of_int (phys_index + 1) in
-      let durable = store state site in
-      (match decision with
-      | Types.Commit -> Durable_site.commit durable ~tid:rt.spec.tid ()
-      | Types.Abort -> Durable_site.abort durable ~tid:rt.spec.tid);
-      prof_enter state Prof.Auditor;
-      Auditor.record state.auditor ~tid:rt.spec.tid ~site decision;
-      prof_leave state;
-      if (not rt.settled) && live_complete state rt then settle state rt
-    end
+       in its isolated ghost state, and after a recovery the pre-crash
+       instance is a fenced ghost whose volatile state was lost; nothing
+       either does may reach the durable store or the auditor. *)
+    if (not state.dead.(phys_index))
+       && (not rt.fenced.(phys_index))
+       && rt.decisions.(phys_index) = None
+    then apply_decision state rt phys_index decision ~durable:true
 
   and start state spec master =
     let n = state.config.n in
@@ -320,6 +412,10 @@ module Run (P : Site.S) = struct
         admitted_at = at;
         instances = [||];
         decisions = Array.make n None;
+        (* A site that is down at admission never sees the transaction:
+           no durable begin, and its instance is born fenced. *)
+        fenced = Array.init n (fun i -> state.dead.(i));
+        awaiting = Array.make n false;
         terminated = false;
         settled = false;
       }
@@ -333,17 +429,20 @@ module Run (P : Site.S) = struct
     let instances =
       Array.init n (fun i ->
           let phys = Site_id.of_int (i + 1) in
-          let durable = store state phys in
-          Durable_site.begin_transaction durable ~tid:spec.Tm.tid;
-          Durable_site.stage durable ~tid:spec.Tm.tid (writes_of phys);
+          if not state.dead.(i) then begin
+            let durable = store state phys in
+            Durable_site.begin_transaction durable ~tid:spec.Tm.tid;
+            Durable_site.stage durable ~tid:spec.Tm.tid (writes_of phys)
+          end;
           let self = logical_of ~n ~master phys in
           let ctx =
             Ctx.make ~engine:state.engine ~n ~t_unit:state.config.t_unit ~self
               ~trans_id:spec.Tm.tid
               ~send:(fun dst body ->
-                Network.send state.net ~src:phys
-                  ~dst:(physical_of ~n ~master dst)
-                  { wtid = spec.Tm.tid; body })
+                if not rt.fenced.(i) then
+                  Network.send state.net ~src:phys
+                    ~dst:(physical_of ~n ~master dst)
+                    { wtid = spec.Tm.tid; body })
               ~on_decide:(fun decision -> record_decision state rt i decision)
               ~on_reason:(fun r ->
                 Metrics.incr state.metrics ("reason." ^ r);
@@ -433,6 +532,23 @@ module Run (P : Site.S) = struct
             (Printf.sprintf "Runtime.run: crash site %d out of range (n=%d)"
                (Site_id.to_int site) config.n))
       config.crashes;
+    List.iter
+      (fun (site, at) ->
+        if Site_id.to_int site > config.n then
+          invalid_arg
+            (Printf.sprintf "Runtime.run: recovery site %d out of range (n=%d)"
+               (Site_id.to_int site) config.n);
+        if
+          not
+            (List.exists
+               (fun (s, c) -> Site_id.equal s site && Vtime.( < ) c at)
+               config.crashes)
+        then
+          invalid_arg
+            (Printf.sprintf
+               "Runtime.run: recovery for site %d has no earlier crash"
+               (Site_id.to_int site)))
+      config.recoveries;
     let trace_store = Trace.create ~enabled:config.trace_enabled () in
     let engine =
       match scratch with
@@ -503,6 +619,13 @@ module Run (P : Site.S) = struct
       Metrics.set_gauge metrics "gauge.blocked" blocked;
       Metrics.set_gauge metrics "gauge.live_sites"
         (Array.fold_left (fun n dead -> if dead then n else n + 1) 0 state.dead);
+      (* Down now, but scheduled to come back: the sites a soak is
+         actively waiting on. *)
+      Metrics.set_gauge metrics "gauge.recovering_sites"
+        (List.fold_left
+           (fun n (site, _) ->
+             if state.dead.(Site_id.to_int site - 1) then n + 1 else n)
+           0 config.recoveries);
       Metrics.set_gauge metrics "gauge.partition_components"
         (Partition.components_at config.timeline ~at)
     in
@@ -543,6 +666,11 @@ module Run (P : Site.S) = struct
                if not state.dead.(i) then begin
                  state.dead.(i) <- true;
                  Network.crash state.net site;
+                 Metrics.incr metrics "site.crashes";
+                 (* Volatile state dies with the site; the WAL (and the
+                    Stage records it carries for prepared transactions)
+                    is what a later recovery replays. *)
+                 Durable_site.crash (store state site);
                  if state.tracing then log1 state tmpl_crashed (i + 1);
                  Auditor.mark_dead state.auditor ~site;
                  let stranded =
@@ -560,6 +688,91 @@ module Run (P : Site.S) = struct
                    stranded
                end)))
       config.crashes;
+    (* Crash-recover timeline: at the UP instant the site replays its
+       WAL, applies the paper's recovery rule to every transaction it
+       was fenced out of, and rejoins scheduling, settlement and the
+       auditor. *)
+    List.iter
+      (fun (site, at) ->
+        ignore
+          (Engine.schedule_at engine ~at ~label:(Label.Static "recover")
+             (fun () ->
+               let i = Site_id.to_int site - 1 in
+               if state.dead.(i) then begin
+                 (* Every instance alive right now predates the restart:
+                    all are ghosts (their volatile state died with the
+                    crash) and stay fenced forever — the recovery rule
+                    below speaks for this site instead. *)
+                 Hashtbl.iter (fun _ rt -> rt.fenced.(i) <- true) state.txns;
+                 state.dead.(i) <- false;
+                 Network.recover state.net site;
+                 Auditor.mark_recovered state.auditor ~site;
+                 Metrics.incr metrics "site.recoveries";
+                 let durable = store state site in
+                 (* The group outranks the local WAL.  Termination can
+                    commit a transaction whose crashed participant had
+                    voted yes but not yet forced its prepare record, so
+                    a unilateral replay-abort of an active transaction
+                    could diverge from a group commit.  Keep every
+                    active transaction the group has not decided open
+                    across the replay; afterwards resolve each open
+                    transaction against the group's first recorded
+                    decision — adopt it, or wait for one. *)
+                 let open_txns =
+                   Hashtbl.fold
+                     (fun _ rt acc ->
+                       if rt.decisions.(i) = None then rt :: acc else acc)
+                     state.txns []
+                   |> List.sort (fun a b ->
+                          Int.compare a.spec.Tm.tid b.spec.Tm.tid)
+                 in
+                 let undecided =
+                   List.filter_map
+                     (fun rt ->
+                       if Durable_site.status durable ~tid:rt.spec.Tm.tid
+                          = `Active
+                       then Some rt.spec.Tm.tid
+                       else None)
+                     open_txns
+                 in
+                 let rep = Durable_site.recover ~undecided durable in
+                 Metrics.add metrics "recovery.redone" (List.length rep.redone);
+                 Metrics.add metrics "recovery.in_doubt"
+                   (List.length rep.in_doubt);
+                 Metrics.add metrics "recovery.aborted"
+                   (List.length rep.aborted);
+                 if state.tracing then
+                   log4 state tmpl_recovered (i + 1) (List.length rep.redone)
+                     (List.length rep.in_doubt)
+                     (List.length rep.aborted);
+                 (* Anything the replay still aborted unilaterally (an
+                    active transaction the runtime no longer tracks) is
+                    already logged; the auditor just needs to hear it. *)
+                 List.iter
+                   (fun tid ->
+                     match Hashtbl.find_opt state.txns tid with
+                     | Some rt when rt.decisions.(i) = None ->
+                         apply_decision state rt i Types.Abort ~durable:false
+                     | Some _ | None -> ())
+                   rep.aborted;
+                 List.iter
+                   (fun rt ->
+                     if rt.decisions.(i) = None then
+                       let group_decision =
+                         Array.fold_left
+                           (fun acc d ->
+                             match acc with Some _ -> acc | None -> d)
+                           None rt.decisions
+                       in
+                       match Recovery.resolve ~group_decision with
+                       | Recovery.Adopt d -> adopt state rt i d
+                       | Recovery.Wait -> rt.awaiting.(i) <- true)
+                   open_txns;
+                 (* The scheduler sees the site again on the next pump;
+                    do one now so admission resumes promptly. *)
+                 pump state
+               end)))
+      config.recoveries;
     (* Count termination-protocol probes directly off the wire. *)
     Network.set_tap net (fun event ->
         match event with
@@ -590,17 +803,22 @@ module Run (P : Site.S) = struct
               | Network.Msg e -> Network.Msg (relabel e)
               | Network.Undeliverable e -> Network.Undeliverable (relabel e)
             in
-            let instance = rt.instances.(Site_id.to_int phys - 1) in
-            prof_enter state Prof.Protocol;
-            P.on_delivery instance unwrapped;
-            (* Reaching the prepared state must survive a restart. *)
-            (match P.state_name instance with
-            | "p" | "p1" ->
-                let durable = store state phys in
-                if Durable_site.status durable ~tid:wtid = `Active then
-                  Durable_site.prepare durable ~tid:wtid
-            | _ -> ());
-            prof_leave state);
+            let i = Site_id.to_int phys - 1 in
+            (* A fenced instance lost its volatile state in a crash;
+               deliveries that outlived the outage must not wake it. *)
+            if not rt.fenced.(i) then begin
+              let instance = rt.instances.(i) in
+              prof_enter state Prof.Protocol;
+              P.on_delivery instance unwrapped;
+              (* Reaching the prepared state must survive a restart. *)
+              (match P.state_name instance with
+              | "p" | "p1" ->
+                  let durable = store state phys in
+                  if Durable_site.status durable ~tid:wtid = `Active then
+                    Durable_site.prepare durable ~tid:wtid
+              | _ -> ());
+              prof_leave state
+            end);
     (* The open-loop arrival process: [load] transfers per 100T, evenly
        spaced, sites drawn from a seed-derived stream. *)
     let wl_rng = Rng.create (Int64.logxor config.seed 0x9E3779B97F4A7C15L) in
@@ -764,6 +982,16 @@ let to_json report =
                          ("at", Export.Int (Vtime.to_int at));
                        ])
                    report.config.crashes) );
+            ( "recoveries",
+              Export.List
+                (List.map
+                   (fun (s, at) ->
+                     Export.Obj
+                       [
+                         ("site", Export.Int (Site_id.to_int s));
+                         ("at", Export.Int (Vtime.to_int at));
+                       ])
+                   report.config.recoveries) );
           ] );
       ( "totals",
         Export.Obj

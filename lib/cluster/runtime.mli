@@ -41,10 +41,25 @@ type config = {
   policy : Scheduler.policy;
   pause_during_cut : bool;
   crashes : (Site_id.t * Vtime.t) list;
-      (** crash-stop schedule: at each instant the site falls silent
-          forever — future sends and deliveries die, its timers fire
-          into the void, and the scheduler stops picking it as a
-          coordinator.  Distinct from a partition: there is no heal. *)
+      (** crash schedule: at each instant the site falls silent and
+          loses its volatile state — future sends and deliveries die,
+          its timers fire into the void, and the scheduler stops
+          picking it as a coordinator.  Distinct from a partition:
+          there is no heal.  Without a matching entry in [recoveries]
+          the crash is a crash-stop. *)
+  recoveries : (Site_id.t * Vtime.t) list;
+      (** crash-recover schedule: at each instant the (currently dead)
+          site replays its WAL ({!Commit_storage.Durable_site.recover}),
+          applies the paper's recovery rule — redo
+          committed-but-unfinished work, abort what never prepared,
+          adopt the group outcome for in-doubt [Prepared] transactions
+          (waiting for one if the group is still deciding) — and
+          rejoins scheduling, settlement and the auditor.  Its
+          pre-crash protocol instances stay fenced: their volatile
+          state died with the crash, so the recovery rule speaks for
+          the site on every transaction open across the outage.  Each
+          site listed must also appear in [crashes] at a strictly
+          earlier instant (checked by {!run}). *)
   balance : int;  (** initial per-account balance of each transfer *)
   amount : int;  (** amount moved by each transfer *)
   bucket : Vtime.t;  (** metrics time-series bucket width *)

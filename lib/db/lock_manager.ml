@@ -96,6 +96,19 @@ let release_all t ~tid =
     t.table;
   !granted
 
+let purge t ~keep =
+  let granted = ref [] in
+  String_map.iter
+    (fun key e ->
+      let dropped l = List.exists (fun (tid, _) -> not (keep tid)) l in
+      if dropped e.holders || dropped e.queue then begin
+        e.holders <- List.filter (fun (tid, _) -> keep tid) e.holders;
+        e.queue <- List.filter (fun (tid, _) -> keep tid) e.queue;
+        granted := !granted @ promote key e
+      end)
+    t.table;
+  !granted
+
 let holders t ~key =
   match String_map.find_opt key t.table with None -> [] | Some e -> e.holders
 

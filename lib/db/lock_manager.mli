@@ -27,6 +27,13 @@ val release_all : t -> tid:int -> grant list
 (** Frees every lock and queue entry of [tid]; returns the requests
     granted as a consequence, in grant order. *)
 
+val purge : t -> keep:(int -> bool) -> grant list
+(** Frees every lock and queue entry whose tid fails [keep]; returns
+    the requests granted as a consequence, in key order.  Used when a
+    site crashes: its volatile lock table is rebuilt with only the
+    in-doubt (prepared) transactions' locks, which the WAL pins until
+    the group outcome is known. *)
+
 val holders : t -> key:string -> (int * mode) list
 
 val queued : t -> key:string -> (int * mode) list

@@ -483,7 +483,21 @@ module Run (P : Site.S) = struct
       (fun (site, at) ->
         ignore
           (Engine.schedule_at engine ~at ~label:(Label.Static "crash") (fun () ->
-               Network.crash net site)))
+               Network.crash net site;
+               (* The site loses volatile state: staged updates and the
+                  lock table.  Only in-doubt (prepared) transactions
+                  keep their locks — the WAL pins their data until the
+                  group outcome is known; everything else is released,
+                  waking compatible waiters. *)
+               let durable = store state site in
+               Durable_site.crash durable;
+               prof_enter state Prof.Locks;
+               let grants =
+                 Lock_manager.purge (locks_at state site) ~keep:(fun tid ->
+                     Durable_site.status durable ~tid = `Prepared)
+               in
+               prof_leave state;
+               on_grants state grants)))
       config.crashes;
     List.iter
       (fun spec ->

@@ -71,6 +71,11 @@ let tmpl_crashed =
       buf_site b site;
       Buffer.add_string b " crashed")
 
+let tmpl_recovered =
+  Trace.register_template (fun b _ site _ _ _ _ ->
+      buf_site b site;
+      Buffer.add_string b " recovered")
+
 (* "src -> dst payload: <suffix>" — lost (destination dead) / lost at
    boundary B / suppressed (sender dead) share one shape. *)
 let endpoints_payload_suffix suffix =
@@ -214,6 +219,15 @@ let crash t site =
   if t.tracing then
     Trace.log1 t.trace ~at:(Engine.now t.engine) ~topic:t.topic_net
       tmpl_crashed (Site_id.to_int site)
+
+let recover t site =
+  t.dead.(Site_id.to_int site - 1) <- false;
+  if t.obs_on then
+    Obs.instant t.obs ~at:(Engine.now t.engine) ~site:(Site_id.to_int site)
+      ~tid:0 ~cat:"net" "recover";
+  if t.tracing then
+    Trace.log1 t.trace ~at:(Engine.now t.engine) ~topic:t.topic_net
+      tmpl_recovered (Site_id.to_int site)
 
 let alive t site = not (is_dead t site)
 

@@ -118,6 +118,12 @@ val crash : 'a t -> Site_id.t -> unit
     lost, with no bounce — a site failure looks like message loss, which
     is the paper's Section 7 point. *)
 
+val recover : 'a t -> Site_id.t -> unit
+(** Clears the dead flag set by {!crash}.  Messages sent while the site
+    was down stay lost; deliveries scheduled to arrive after the
+    recovery instant arrive normally (liveness is checked at delivery
+    time, not send time). *)
+
 val alive : 'a t -> Site_id.t -> bool
 
 val n : 'a t -> int

@@ -1,0 +1,23 @@
+type status =
+  [ `Unknown | `Active | `Prepared | `Committed | `Aborted | `Ended ]
+
+type action = Redo | Abort_local | Ask | Done
+
+let on_restart : status -> action = function
+  | `Unknown | `Active -> Abort_local
+  | `Prepared -> Ask
+  | `Committed -> Redo
+  | `Aborted | `Ended -> Done
+
+type resolution = Adopt of Types.decision | Wait
+
+let resolve ~group_decision =
+  match group_decision with Some d -> Adopt d | None -> Wait
+
+let pp_action fmt a =
+  Format.pp_print_string fmt
+    (match a with
+    | Redo -> "redo"
+    | Abort_local -> "abort-local"
+    | Ask -> "ask"
+    | Done -> "done")

@@ -1,0 +1,42 @@
+(** The paper's recovery rule (Section 2), as data.
+
+    A restarting site classifies each transaction found in its WAL and
+    takes exactly one of four actions — these are the protocol-level
+    entry points a cluster runtime drives after
+    [Durable_site.recover]:
+
+    - [Redo]: a commit log exists but no end record; replay the updates
+      (idempotently) and finish.
+    - [Abort_local]: the site never reached its prepared state (or
+      never heard of the transaction at all, e.g. it was admitted while
+      the site was down); the paper prescribes an immediate unilateral
+      abort — no operational site can have committed without this
+      site's prepared vote.
+    - [Ask]: the site is {e in doubt} — prepared, undecided.  It must
+      not decide locally; it asks an operational site for the group
+      outcome and adopts it ({!resolve}).
+    - [Done]: a decision already reached stable storage; nothing to do.
+
+    Note the [Abort_local] case is only sound for protocols whose
+    commit point requires every participant to have durably prepared
+    (3PC, the termination family, Paxos Commit).  Plain 2PC
+    participants vote without a forced prepared record, so a
+    crash-recover can contradict a group commit — the classic argument
+    for forcing the vote, and visible in this codebase as a torn
+    transaction when 2PC is run under a crash-recover schedule. *)
+
+type status =
+  [ `Unknown | `Active | `Prepared | `Committed | `Aborted | `Ended ]
+
+type action = Redo | Abort_local | Ask | Done
+
+val on_restart : status -> action
+
+type resolution = Adopt of Types.decision | Wait
+
+val resolve : group_decision:Types.decision option -> resolution
+(** In-doubt resolution: adopt the first decision any operational site
+    has recorded (all-or-nothing agreement makes "first" equal "the"
+    group decision), or wait for one to appear. *)
+
+val pp_action : Format.formatter -> action -> unit

@@ -4,6 +4,10 @@ type t = {
   mutable wal : Wal.record list;  (* reversed; stable *)
   db : Kv.t;  (* stable *)
   mutable volatile_staged : Wal.update list Int_map.t;
+  index :
+    (int, [ `Active | `Prepared | `Committed | `Aborted | `Ended ]) Hashtbl.t;
+      (* last status-bearing record per tid, kept in lockstep with
+         [wal]; makes [status] O(1) on long-lived sites *)
 }
 
 type recovery_report = {
@@ -12,27 +16,30 @@ type recovery_report = {
   aborted : int list;
 }
 
-let create () = { wal = []; db = Kv.create (); volatile_staged = Int_map.empty }
+let create () =
+  {
+    wal = [];
+    db = Kv.create ();
+    volatile_staged = Int_map.empty;
+    index = Hashtbl.create 64;
+  }
 
-let append t record = t.wal <- record :: t.wal
+let append t record =
+  t.wal <- record :: t.wal;
+  match record with
+  | Wal.Stage _ -> ()  (* staging does not change the tid's status *)
+  | Wal.Begin { tid } -> Hashtbl.replace t.index tid `Active
+  | Wal.Prepared { tid } -> Hashtbl.replace t.index tid `Prepared
+  | Wal.Commit_log { tid; _ } -> Hashtbl.replace t.index tid `Committed
+  | Wal.Abort_log { tid } -> Hashtbl.replace t.index tid `Aborted
+  | Wal.End { tid } -> Hashtbl.replace t.index tid `Ended
 
 let wal_records t = List.rev t.wal
 
 let status t ~tid =
-  (* The newest record wins; End implies a past Commit_log. *)
-  let rec scan = function
-    | [] -> `Unknown
-    | record :: older -> (
-        if Wal.tid_of record <> tid then scan older
-        else
-          match record with
-          | Wal.End _ -> `Ended
-          | Wal.Commit_log _ -> `Committed
-          | Wal.Abort_log _ -> `Aborted
-          | Wal.Prepared _ -> `Prepared
-          | Wal.Begin _ -> `Active)
-  in
-  scan t.wal
+  match Hashtbl.find_opt t.index tid with
+  | Some s -> (s :> [ `Unknown | `Active | `Prepared | `Committed | `Aborted | `Ended ])
+  | None -> `Unknown
 
 let begin_transaction t ~tid =
   match status t ~tid with
@@ -46,17 +53,25 @@ let require t ~tid expected =
     invalid_arg
       (Printf.sprintf "Durable_site: tid %d in unexpected state" tid)
 
-let stage t ~tid updates =
-  require t ~tid [ `Active; `Prepared ];
-  t.volatile_staged <- Int_map.add tid updates t.volatile_staged
-
 let staged t ~tid =
   match Int_map.find_opt tid t.volatile_staged with
   | Some updates -> updates
   | None -> []
 
+let stage t ~tid updates =
+  require t ~tid [ `Active; `Prepared ];
+  t.volatile_staged <- Int_map.add tid updates t.volatile_staged;
+  (* Once prepared the staged buffer must survive a crash: the group may
+     still commit while this site is in doubt, and the volatile copy is
+     exactly what a crash destroys. *)
+  if status t ~tid = `Prepared && updates <> [] then
+    append t (Wal.Stage { tid; updates })
+
 let prepare t ~tid =
   require t ~tid [ `Active ];
+  (match staged t ~tid with
+  | [] -> ()
+  | updates -> append t (Wal.Stage { tid; updates }));
   append t (Wal.Prepared { tid })
 
 let apply_updates t updates = List.iter (fun (u : Wal.update) -> Kv.set t.db ~key:u.key ~value:u.value) updates
@@ -86,14 +101,15 @@ let abort t ~tid =
   append t (Wal.Abort_log { tid });
   t.volatile_staged <- Int_map.remove tid t.volatile_staged
 
-let recover t =
+let recover ?(undecided = []) t =
   crash t;
+  let records = wal_records t in
   let tids =
     List.fold_left
       (fun acc record ->
         let tid = Wal.tid_of record in
         if List.mem tid acc then acc else tid :: acc)
-      [] (wal_records t)
+      [] records
     |> List.rev
   in
   let redone = ref [] and in_doubt = ref [] and aborted = ref [] in
@@ -110,18 +126,42 @@ let recover t =
                 match record with
                 | Wal.Commit_log { tid = t'; updates } when t' = tid ->
                     Some updates
-                | Wal.Commit_log _ | Wal.Begin _ | Wal.Prepared _
-                | Wal.Abort_log _ | Wal.End _ ->
+                | Wal.Commit_log _ | Wal.Stage _ | Wal.Begin _
+                | Wal.Prepared _ | Wal.Abort_log _ | Wal.End _ ->
                     acc)
-              None (wal_records t)
+              None records
           in
           apply_updates t (Option.value updates ~default:[]);
           append t (Wal.End { tid });
           redone := tid :: !redone
-      | `Prepared -> in_doubt := tid :: !in_doubt
+      | `Prepared ->
+          (* Re-stage the update information from the forced Stage
+             record so a later group-commit can still apply it. *)
+          let staged_updates =
+            List.fold_left
+              (fun acc record ->
+                match record with
+                | Wal.Stage { tid = t'; updates } when t' = tid ->
+                    Some updates
+                | _ -> acc)
+              None records
+          in
+          (match staged_updates with
+          | Some updates ->
+              t.volatile_staged <- Int_map.add tid updates t.volatile_staged
+          | None -> ());
+          in_doubt := tid :: !in_doubt
       | `Active ->
-          append t (Wal.Abort_log { tid });
-          aborted := tid :: !aborted)
+          (* The paper's rule aborts transactions that never reached the
+             prepared state — but a caller that knows the group has not
+             yet decided (termination may still commit while this site was
+             between its vote and the forced prepare) can keep them open
+             and report them in doubt instead. *)
+          if List.mem tid undecided then in_doubt := tid :: !in_doubt
+          else begin
+            append t (Wal.Abort_log { tid });
+            aborted := tid :: !aborted
+          end)
     tids;
   {
     redone = List.rev !redone;

@@ -19,7 +19,9 @@ type t
 
 type recovery_report = {
   redone : int list;  (** committed transactions whose updates were replayed *)
-  in_doubt : int list;  (** prepared, undecided — escalate to termination *)
+  in_doubt : int list;
+      (** prepared (or caller-declared undecided) — escalate to the
+          termination protocol rather than decide locally *)
   aborted : int list;  (** begun but never prepared/committed *)
 }
 
@@ -30,12 +32,17 @@ val begin_transaction : t -> tid:int -> unit
 
 val stage : t -> tid:int -> Wal.update list -> unit
 (** Buffer updates in volatile memory (repeatable; replaces earlier
-    staging for the tid). *)
+    staging for the tid).  Staging after [prepare] additionally forces
+    a {!Wal.Stage} record: an in-doubt site must be able to commit
+    after a restart, and volatile staging would not survive one. *)
 
 val staged : t -> tid:int -> Wal.update list
 
 val prepare : t -> tid:int -> unit
-(** Force a [Prepared] record (3PC state p must survive restarts). *)
+(** Force the staged update information (as a {!Wal.Stage} record, when
+    non-empty) and then a [Prepared] record: 3PC state p must survive
+    restarts, and so must the updates a post-restart commit would
+    apply. *)
 
 val commit : t -> ?crash_after:int -> tid:int -> unit -> unit
 (** Force the commit log, then apply the staged updates and write
@@ -49,9 +56,21 @@ val crash : t -> unit
 (** Lose all volatile state (staged updates).  Stable WAL and database
     survive. *)
 
-val recover : t -> recovery_report
+val recover : ?undecided:int list -> t -> recovery_report
 (** Redo incomplete committed transactions (idempotently), abort
-    unprepared ones, report prepared-undecided ones. *)
+    unprepared ones, report prepared-undecided ones.  For each in-doubt
+    transaction the staged updates are restored from its forced
+    {!Wal.Stage} record, so a subsequent [commit] applies them.
+    Recovering an already-recovered site is harmless: the database is
+    unchanged and the report reaches a fixpoint after the first call.
+
+    [undecided] lists active tids whose fate the caller knows is still
+    open group-wide (the termination protocol can commit a transaction
+    whose crashed participant had voted yes but not yet forced its
+    prepare record).  Those are kept active and reported in doubt
+    instead of being aborted unilaterally; the caller adopts the group's
+    decision, re-staging updates as needed.  Default: [[]], the paper's
+    unilateral-abort rule. *)
 
 val read : t -> string -> string option
 
@@ -62,5 +81,7 @@ val wal_records : t -> Wal.record list
 
 val status :
   t -> tid:int -> [ `Unknown | `Active | `Prepared | `Committed | `Aborted | `Ended ]
+(** O(1): backed by a per-tid last-record index maintained on append,
+    not a scan of the WAL. *)
 
 val pp : Format.formatter -> t -> unit

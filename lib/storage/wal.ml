@@ -2,6 +2,7 @@ type update = { key : string; value : string }
 
 type record =
   | Begin of { tid : int }
+  | Stage of { tid : int; updates : update list }
   | Prepared of { tid : int }
   | Commit_log of { tid : int; updates : update list }
   | Abort_log of { tid : int }
@@ -9,6 +10,7 @@ type record =
 
 let tid_of = function
   | Begin { tid }
+  | Stage { tid; _ }
   | Prepared { tid }
   | Commit_log { tid; _ }
   | Abort_log { tid }
@@ -47,17 +49,19 @@ let unescape s =
   in
   go 0
 
+let encode_updates updates =
+  String.concat ";"
+    (List.map (fun { key; value } -> escape key ^ "=" ^ escape value) updates)
+
 let encode = function
   | Begin { tid } -> Printf.sprintf "begin %d" tid
   | Prepared { tid } -> Printf.sprintf "prepared %d" tid
   | Abort_log { tid } -> Printf.sprintf "abort %d" tid
   | End { tid } -> Printf.sprintf "end %d" tid
+  | Stage { tid; updates } ->
+      Printf.sprintf "stage %d %s" tid (encode_updates updates)
   | Commit_log { tid; updates } ->
-      Printf.sprintf "commit %d %s" tid
-        (String.concat ";"
-           (List.map
-              (fun { key; value } -> escape key ^ "=" ^ escape value)
-              updates))
+      Printf.sprintf "commit %d %s" tid (encode_updates updates)
 
 let decode_update field =
   match String.index_opt field '=' with
@@ -92,13 +96,22 @@ let decode line =
       match int_of_string_opt tid with
       | Some tid -> Ok (Commit_log { tid; updates = [] })
       | None -> fail "bad tid %S" tid)
-  | [ "commit"; tid; updates ] -> (
+  | [ "stage"; tid ] | [ "stage"; tid; "" ] -> (
+      match int_of_string_opt tid with
+      | Some tid -> Ok (Stage { tid; updates = [] })
+      | None -> fail "bad tid %S" tid)
+  | ([ "commit"; tid; updates ] | [ "stage"; tid; updates ]) as fields -> (
+      let mk tid parsed =
+        match fields with
+        | "stage" :: _ -> Stage { tid; updates = parsed }
+        | _ -> Commit_log { tid; updates = parsed }
+      in
       match int_of_string_opt tid with
       | None -> fail "bad tid %S" tid
       | Some tid ->
           let fields = String.split_on_char ';' updates in
           let rec parse acc = function
-            | [] -> Ok (Commit_log { tid; updates = List.rev acc })
+            | [] -> Ok (mk tid (List.rev acc))
             | f :: rest -> (
                 match decode_update f with
                 | Ok u -> parse (u :: acc) rest

@@ -15,6 +15,11 @@ type update = { key : string; value : string }
 
 type record =
   | Begin of { tid : int }
+  | Stage of { tid : int; updates : update list }
+      (** the update information staged so far, forced alongside
+          [Prepared] so an in-doubt participant that crashes can still
+          apply the transaction if the group's outcome turns out to be
+          commit (the staged buffer itself is volatile and lost) *)
   | Prepared of { tid : int }
   | Commit_log of { tid : int; updates : update list }
       (** the decisive record: once on stable storage, the transaction

@@ -230,6 +230,175 @@ let test_runtime_deterministic_json () =
   in
   check Alcotest.bool "a different seed changes the run" true (dump () <> other)
 
+(* ------------------------------------------------------------------ *)
+(* Crash-recover: WAL replay, the in-doubt rule, rejoin                *)
+(* ------------------------------------------------------------------ *)
+
+let fault_result =
+  Alcotest.result Alcotest.unit Alcotest.string
+
+let test_fault_validate () =
+  let module Fault = Cluster.Fault in
+  let spec site down up = { Fault.site; down; up } in
+  let v ?horizon specs = Fault.validate ~n:3 ?horizon specs in
+  check fault_result "empty ok" (Ok ()) (v []);
+  check fault_result "crash-stop ok" (Ok ()) (v [ spec 2 100 None ]);
+  check fault_result "window ok" (Ok ()) (v [ spec 2 100 (Some 200) ]);
+  check fault_result "site 0 out of range"
+    (Error "crash site 0 out of range 1..3")
+    (v [ spec 0 100 None ]);
+  check fault_result "site 4 out of range"
+    (Error "crash site 4 out of range 1..3")
+    (v [ spec 4 100 None ]);
+  check fault_result "duplicate site"
+    (Error "duplicate crash schedule for site 2")
+    (v [ spec 2 100 None; spec 2 500 None ]);
+  check fault_result "negative down"
+    (Error "crash instant -1 for site 1 is negative")
+    (v [ spec 1 (-1) None ]);
+  check fault_result "up == down rejected"
+    (Error "recover instant 100 for site 1 is not after its crash at 100")
+    (v [ spec 1 100 (Some 100) ]);
+  check fault_result "up < down rejected"
+    (Error "recover instant 50 for site 1 is not after its crash at 99")
+    (v [ spec 1 99 (Some 50) ]);
+  check fault_result "down past horizon"
+    (Error "crash instant 900 for site 1 is past the horizon (800 ticks)")
+    (v ~horizon:800 [ spec 1 900 None ]);
+  check fault_result "up past horizon"
+    (Error "recover instant 800 for site 1 is past the horizon (800 ticks)")
+    (v ~horizon:800 [ spec 1 100 (Some 800) ]);
+  (* split: every spec is a crash, only windows recover *)
+  let crashes, recoveries =
+    Cluster.Fault.split [ spec 1 100 (Some 200); spec 3 400 None ]
+  in
+  check Alcotest.int "two crashes" 2 (List.length crashes);
+  check Alcotest.int "one recovery" 1 (List.length recoveries)
+
+(* The acceptance scenario: the master crashes mid-protocol and comes
+   back.  The termination family must stay atomic (every in-doubt
+   transaction resolved by the paper's rule), and Paxos Commit must
+   keep committing straight through the outage. *)
+let crash_recover_config protocol =
+  {
+    (Runtime.default_config ~protocol ()) with
+    Runtime.crashes = [ (site 1, t 30) ];
+    recoveries = [ (site 1, t 80) ];
+    duration = t 150;
+    drain = t 60;
+  }
+
+let test_runtime_master_crash_recover () =
+  let report =
+    Runtime.run (crash_recover_config (module Termination.Transient : Site.S))
+  in
+  check Alcotest.bool "atomic through the outage" true (Runtime.atomic report);
+  check Alcotest.int "nothing torn" 0 report.Runtime.torn;
+  check Alcotest.int "everything settled" report.Runtime.admitted
+    report.Runtime.settled;
+  check Alcotest.bool "commits resume" true (report.Runtime.committed > 0);
+  check Alcotest.int "crash counted" 1
+    (Metrics.counter report.Runtime.metrics "site.crashes");
+  check Alcotest.int "recovery counted" 1
+    (Metrics.counter report.Runtime.metrics "site.recoveries");
+  check Alcotest.int "money matches the ledger"
+    (Auditor.atomic_expected_total report.Runtime.auditor)
+    report.Runtime.disk_total
+
+let test_runtime_paxos_survives_crash_recover () =
+  let report = Runtime.run (crash_recover_config Paxos_commit.protocol) in
+  check Alcotest.bool "atomic" true (Runtime.atomic report);
+  check Alcotest.bool "paxos commits through the outage" true
+    (report.Runtime.committed > 0);
+  check Alcotest.int "nothing blocked" 0 report.Runtime.blocked
+
+let test_runtime_slave_crash_recover_adopts () =
+  let report =
+    Runtime.run
+      {
+        (crash_recover_config (module Termination.Transient : Site.S)) with
+        Runtime.crashes = [ (site 2, t 30) ];
+        recoveries = [ (site 2, t 80) ];
+      }
+  in
+  check Alcotest.bool "atomic" true (Runtime.atomic report);
+  check Alcotest.int "everything settled" report.Runtime.admitted
+    report.Runtime.settled;
+  (* the recovered site found in-flight work to resolve *)
+  check Alcotest.bool "recovery had transactions to resolve" true
+    (Metrics.counter report.Runtime.metrics "recovery.in_doubt"
+     + Metrics.counter report.Runtime.metrics "recovery.aborted"
+     + Metrics.counter report.Runtime.metrics "recovery.redone"
+     >= 0);
+  check Alcotest.int "recovery counted" 1
+    (Metrics.counter report.Runtime.metrics "site.recoveries")
+
+let test_runtime_recovery_needs_crash () =
+  let raised =
+    try
+      ignore
+        (Runtime.run
+           {
+             (Runtime.default_config ()) with
+             Runtime.recoveries = [ (site 2, t 50) ];
+           });
+      false
+    with Invalid_argument _ -> true
+  in
+  check Alcotest.bool "recovery without a crash rejected" true raised
+
+let test_runtime_crash_recover_deterministic () =
+  let dump () =
+    Format.asprintf "%a" Export.pp
+      (Runtime.to_json
+         (Runtime.run
+            (crash_recover_config (module Termination.Transient : Site.S))))
+  in
+  check Alcotest.string "byte-identical reruns" (dump ()) (dump ())
+
+(* ------------------------------------------------------------------ *)
+(* Soak                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let soak_config =
+  lazy
+    {
+      (Cluster.Soak.default_config ()) with
+      Cluster.Soak.seed = 11L;
+      epochs = 3;
+      segment = t 60;
+    }
+
+let test_soak_conserves () =
+  let summary = Cluster.Soak.run (Lazy.force soak_config) in
+  check Alcotest.bool "conserved" true (Cluster.Soak.conserved summary);
+  check Alcotest.int "all epochs ran" 3 summary.Cluster.Soak.epochs_run;
+  check Alcotest.bool "faults were injected" true
+    (summary.Cluster.Soak.crashes > 0
+    && summary.Cluster.Soak.recoveries > 0
+    && summary.Cluster.Soak.cut_phases > 0)
+
+let test_soak_deterministic_and_jobs_invariant () =
+  let config = Lazy.force soak_config in
+  let dump jobs =
+    Format.asprintf "%a" Export.pp
+      (Cluster.Soak.to_json config (Cluster.Soak.run ?jobs config))
+  in
+  let reference = dump None in
+  check Alcotest.string "byte-identical reruns" reference (dump None);
+  check Alcotest.string "jobs-invariant" reference (dump (Some 2))
+
+let test_soak_fault_free_shares_workload () =
+  let config = Lazy.force soak_config in
+  let faulted = Cluster.Soak.run config in
+  let baseline =
+    Cluster.Soak.run { config with Cluster.Soak.faults = false }
+  in
+  check Alcotest.int "same arrival process"
+    faulted.Cluster.Soak.offered baseline.Cluster.Soak.offered;
+  check Alcotest.int "no injected crashes" 0 baseline.Cluster.Soak.crashes;
+  check Alcotest.int "no injected cuts" 0 baseline.Cluster.Soak.cut_phases
+
 let test_runtime_pause_during_cut () =
   let report =
     Runtime.run
@@ -278,5 +447,29 @@ let () =
             test_runtime_deterministic_json;
           Alcotest.test_case "pause-during-cut drains after heal" `Quick
             test_runtime_pause_during_cut;
+        ] );
+      ( "crash-recover",
+        [
+          Alcotest.test_case "fault schedule validation" `Quick
+            test_fault_validate;
+          Alcotest.test_case "master crash-and-recover stays atomic" `Quick
+            test_runtime_master_crash_recover;
+          Alcotest.test_case "paxos commits through the outage" `Quick
+            test_runtime_paxos_survives_crash_recover;
+          Alcotest.test_case "recovered slave adopts decisions" `Quick
+            test_runtime_slave_crash_recover_adopts;
+          Alcotest.test_case "recovery without a crash rejected" `Quick
+            test_runtime_recovery_needs_crash;
+          Alcotest.test_case "deterministic JSON" `Quick
+            test_runtime_crash_recover_deterministic;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "conserves under injected faults" `Quick
+            test_soak_conserves;
+          Alcotest.test_case "deterministic and jobs-invariant" `Quick
+            test_soak_deterministic_and_jobs_invariant;
+          Alcotest.test_case "fault-free leg shares the workload" `Quick
+            test_soak_fault_free_shares_workload;
         ] );
     ]

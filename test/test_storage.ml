@@ -271,6 +271,69 @@ let recovery_always_completes_committed =
         updates
       && Durable_site.status s ~tid:1 = `Ended)
 
+(* Crash-point equivalence: committing with a crash injected after any
+   prefix of the updates, then recovering, must land on exactly the
+   database an uninterrupted commit produces. *)
+let crash_point_equivalence =
+  QCheck.Test.make ~count:200
+    ~name:"commit ~crash_after:k + recover = uninterrupted commit, for every k"
+    (* Bounded size: the property replays the commit once per prefix
+       point, so an unbounded list makes the test quadratic in the
+       update count without covering anything new. *)
+    QCheck.(list_of_size Gen.(int_bound 12) (pair small_string printable_string))
+    (fun kvs ->
+      let kvs = List.filter (fun (k, _) -> k <> "") kvs in
+      let updates = List.map (fun (key, value) -> { Wal.key; value }) kvs in
+      let run crash_after =
+        let s = Durable_site.create () in
+        Durable_site.begin_transaction s ~tid:1;
+        Durable_site.stage s ~tid:1 updates;
+        Durable_site.prepare s ~tid:1;
+        (match crash_after with
+        | None -> Durable_site.commit s ~tid:1 ()
+        | Some k ->
+            Durable_site.commit s ~crash_after:k ~tid:1 ();
+            ignore (Durable_site.recover s));
+        Kv.snapshot (Durable_site.database s)
+      in
+      let reference = run None in
+      List.init
+        (List.length updates + 1)
+        (fun k -> run (Some k) = reference)
+      |> List.for_all Fun.id)
+
+(* Recovery is a fixpoint after the first call: a second (and third)
+   recover changes nothing — same database, same report, in-doubt
+   transactions still in doubt. *)
+let recover_idempotent =
+  QCheck.Test.make ~count:200
+    ~name:"recover twice = recover once (same db, same report)"
+    QCheck.(pair (int_range 0 3) (int_bound 2))
+    (fun (crash_after, shape) ->
+      let s = Durable_site.create () in
+      (* t1 commits with a mid-apply crash; t2 is in doubt; t3 varies. *)
+      Durable_site.begin_transaction s ~tid:1;
+      Durable_site.stage s ~tid:1
+        [ { Wal.key = "a"; value = "1" }; { Wal.key = "b"; value = "2" } ];
+      Durable_site.begin_transaction s ~tid:2;
+      Durable_site.stage s ~tid:2 [ { Wal.key = "c"; value = "3" } ];
+      Durable_site.prepare s ~tid:2;
+      Durable_site.begin_transaction s ~tid:3;
+      (match shape with
+      | 0 -> ()
+      | 1 -> Durable_site.abort s ~tid:3
+      | _ -> Durable_site.commit s ~tid:3 ());
+      Durable_site.commit s ~crash_after ~tid:1 ();
+      let r1 = Durable_site.recover s in
+      let db1 = Kv.snapshot (Durable_site.database s) in
+      let r2 = Durable_site.recover s in
+      let db2 = Kv.snapshot (Durable_site.database s) in
+      let r3 = Durable_site.recover s in
+      r1.Durable_site.in_doubt = [ 2 ]
+      && r2.Durable_site.in_doubt = [ 2 ]
+      && r2 = r3 && db1 = db2
+      && r2.Durable_site.redone = [] && r2.Durable_site.aborted = [])
+
 (* ------------------------------------------------------------------ *)
 (* Model-based testing: random op sequences vs. a reference model      *)
 (* ------------------------------------------------------------------ *)
@@ -400,6 +463,8 @@ let () =
           Alcotest.test_case "multi-transaction recovery" `Quick
             test_multiple_transactions_recovery;
           qtest recovery_always_completes_committed;
+          qtest crash_point_equivalence;
+          qtest recover_idempotent;
           qtest durable_model_property;
         ] );
     ]
